@@ -1,0 +1,122 @@
+// Command dotest runs the defect-oriented test methodology over the Flash
+// ADC case study and prints the paper's tables and figures.
+//
+// Usage:
+//
+//	dotest [-defects N] [-mag N] [-mc N] [-seed S] [-macro name|all]
+//	       [-dft pre|post|both] [-maxclasses N] [-nsigma X] [-quick]
+//
+// With no flags it reproduces every experiment at full fidelity (several
+// minutes of CPU).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dotest: ")
+
+	var (
+		defects    = flag.Int("defects", 25000, "class-discovery sprinkle size per macro")
+		mag        = flag.Int("mag", 250000, "magnitude sprinkle size (0 = reuse discovery)")
+		mc         = flag.Int("mc", 80, "good-space Monte Carlo dies")
+		seed       = flag.Int64("seed", 1995, "random seed")
+		macroName  = flag.String("macro", "all", "macro to analyse (comparator|ladder|biasgen|clockgen|decoder|all)")
+		dftMode    = flag.String("dft", "both", "DfT setting: pre, post or both")
+		maxClasses = flag.Int("maxclasses", 0, "cap analysed classes per macro (0 = all)")
+		nsigma     = flag.Float64("nsigma", 3, "current-detection threshold multiple")
+		quick      = flag.Bool("quick", false, "small, fast configuration")
+		jsonOut    = flag.String("json", "", "also write a machine-readable summary to this file")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Seed:               *seed,
+		Defects:            *defects,
+		MagnitudeDefects:   *mag,
+		MCSamples:          *mc,
+		NSigma:             *nsigma,
+		FloorA:             2e-6,
+		MaxClassesPerMacro: *maxClasses,
+	}
+	if *quick {
+		cfg = core.QuickConfig()
+		cfg.Seed = *seed
+	}
+	p := core.NewPipeline(cfg)
+
+	var dfts []bool
+	switch *dftMode {
+	case "pre":
+		dfts = []bool{false}
+	case "post":
+		dfts = []bool{true}
+	case "both":
+		dfts = []bool{false, true}
+	default:
+		log.Fatalf("bad -dft %q", *dftMode)
+	}
+
+	start := time.Now()
+	for _, dft := range dfts {
+		label := "before DfT"
+		if dft {
+			label = "after DfT"
+		}
+		fmt.Printf("==== Defect-oriented test path (%s) ====\n\n", label)
+		if *macroName != "all" {
+			run, err := p.RunMacro(*macroName, dft)
+			if err != nil {
+				log.Fatal(err)
+			}
+			printMacro(run)
+			continue
+		}
+		run, err := p.Run(dft)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp := run.Macro("comparator")
+		printMacro(cmp)
+		report.PerMacro(os.Stdout, run)
+		title := "Fig 4: global detectability"
+		if dft {
+			title = "Fig 5: global detectability after DfT"
+		}
+		report.Global(os.Stdout, title, run)
+		if *jsonOut != "" {
+			name := *jsonOut
+			if dft {
+				name += ".dft"
+			}
+			data, err := report.JSON(run)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(name, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", name)
+		}
+	}
+	fmt.Printf("total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func printMacro(run *core.MacroRun) {
+	report.Table1(os.Stdout, run)
+	report.Table2(os.Stdout, run)
+	report.Table3(os.Stdout, run)
+	report.Fig3(os.Stdout, run, false)
+	if len(run.NonCat) > 0 {
+		report.Fig3(os.Stdout, run, true)
+	}
+}

@@ -1,0 +1,49 @@
+// Command netexport emits a macro's transistor-level testbench netlist as
+// a SPICE deck, so the reproduction's circuits can be cross-checked in an
+// external simulator.
+//
+// Usage:
+//
+//	netexport [-macro comparator|clockgen|ladder] [-dft]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/macros"
+	"repro/internal/netlist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netexport: ")
+	var (
+		macroName = flag.String("macro", "comparator", "macro testbench to export")
+		dft       = flag.Bool("dft", false, "export the DfT variant")
+	)
+	flag.Parse()
+
+	var ckt *netlist.Circuit
+	var title string
+	switch *macroName {
+	case "comparator":
+		b := macros.BuildComparatorTestbench(macros.RespondOpts{Var: macros.Nominal(), DfT: *dft})
+		ckt = b.C
+		title = "comparator slice testbench (with bias and clock generators)"
+	case "clockgen":
+		b := macros.BuildClockgenTestbench(macros.Nominal())
+		ckt = b.C
+		title = "clock generator (static state 1,0,0)"
+	case "ladder":
+		b := macros.BuildLadderTestbench(macros.Nominal())
+		ckt = b.C
+		title = "reference ladder"
+	default:
+		log.Fatalf("unknown macro %q", *macroName)
+	}
+	if err := netlist.WriteSpice(os.Stdout, title, ckt); err != nil {
+		log.Fatal(err)
+	}
+}

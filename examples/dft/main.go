@@ -1,0 +1,86 @@
+// DfT study: reproduce the paper's §3.4 — how the two design-for-test
+// measures (flipflop redesign eliminating the sampling-phase leakage, and
+// re-ordering of the near-identical bias lines) change fault
+// detectability.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := repro.QuickConfig()
+	cfg.MCSamples = 25
+	p := core.NewPipeline(cfg)
+
+	// Effect 1: the flipflop leakage spread dominates the pre-DfT
+	// sampling-phase IVdd bound.
+	pre, err := p.GoodSpace(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	post, err := p.GoodSpace(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sampling-phase IVdd detection threshold (3σ):")
+	fmt.Printf("  before DfT: %.2f mA   (flipflop leakage spread — paper: ~15 mA)\n",
+		1e3*pre.Threshold("ivdd.samp.lo"))
+	fmt.Printf("  after  DfT: %.2f mA\n\n", 1e3*post.Threshold("ivdd.samp.lo"))
+
+	// Effect 2: the canonical hard fault — a short between the two
+	// nearly identical bias lines.
+	biasShort := faults.Class{
+		Fault: faults.Fault{Kind: faults.Short, Nets: []string{"vbn1", "vbn2"}, Res: 0.2},
+		Count: 1,
+	}
+	for _, dft := range []bool{false, true} {
+		a, err := p.AnalyzeClass("biasgen", biasShort, false, dft)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("short(vbn1,vbn2) with DfT=%v: signature=%v detected=%v\n",
+			dft, a.Resp.Voltage, a.Det.Any())
+	}
+	fmt.Println("(the short itself stays undetectable — the DfT layout re-order means")
+	fmt.Println(" defects land between n- and p-bias lines instead, which ARE detectable:)")
+	npShort := faults.Class{
+		Fault: faults.Fault{Kind: faults.Short, Nets: []string{"vbn1", "vbp1"}, Res: 0.2},
+		Count: 1,
+	}
+	a, err := p.AnalyzeClass("biasgen", npShort, false, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("short(vbn1,vbp1) with DfT=true: detected=%v (IVdd=%v missing-code=%v)\n\n",
+		a.Det.Any(), a.Det.IVdd, a.Det.Missing)
+
+	// Effect 3: how the bias-line adjacency changes the defect
+	// statistics — compare the sprinkle on both layouts.
+	for _, dft := range []bool{false, true} {
+		run, err := p.RunMacro("biasgen", dft)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cov := repro.MacroCoverage(run, false)
+		fmt.Printf("biasgen coverage with DfT=%v: %.1f%% (undetected %.1f%%)\n",
+			dft, cov.Total(), cov.Undetected)
+	}
+
+	// Full-chip comparison on the comparator macro.
+	fmt.Println()
+	for _, dft := range []bool{false, true} {
+		run, err := p.RunMacro("comparator", dft)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cov := repro.MacroCoverage(run, false)
+		fmt.Printf("comparator coverage with DfT=%v: %.1f%%\n", dft, cov.Total())
+	}
+}

@@ -1,0 +1,206 @@
+// Package adc provides the high-level (behavioural) model of the 8-bit
+// full-flash analog-to-digital converter used as the paper's vehicle. The
+// defect-oriented test path uses this model for the fault-signature
+// sensitisation/propagation step: a macro-level fault signature (a
+// comparator offset or stuck output, a shifted reference tap, a broken
+// decoder) is plugged into the model and the circuit-edge missing-code
+// test decides whether the signature is voltage-detectable.
+package adc
+
+import (
+	"fmt"
+	"math"
+)
+
+// StuckNone marks a comparator that is not stuck.
+const StuckNone = -1
+
+// Comparator is the behavioural model of one comparator/flipflop slice.
+type Comparator struct {
+	// Offset is the input-referred offset voltage added to the
+	// comparison threshold.
+	Offset float64
+	// Stuck forces the output (0 or 1); StuckNone disables.
+	Stuck int
+	// Erratic makes the slice output garbage (the "Mixed" signature):
+	// the decision toggles pseudo-randomly per sample.
+	Erratic bool
+}
+
+// Decoder converts a thermometer code to a binary output code.
+type Decoder func(thermo []bool) int
+
+// ADC is the behavioural flash converter: a resistive reference ladder's
+// tap voltages, one comparator per tap, and a thermometer decoder.
+type ADC struct {
+	// Taps are the reference voltages, ascending in the fault-free case.
+	Taps []float64
+	// Comps hold the per-slice behavioural parameters (same length).
+	Comps []Comparator
+	// Decode maps the thermometer code to the output number; nil uses
+	// FirstZeroDecode, the transition-detecting decoder of the paper's
+	// converter.
+	Decode Decoder
+
+	sampleSeq uint64 // drives the deterministic Erratic toggles
+}
+
+// New builds a fault-free n-tap ADC spanning [vlo, vhi]. With n = 256 this
+// is the paper's converter: 2^8 reference voltages and comparators, codes
+// 0..255.
+func New(n int, vlo, vhi float64) *ADC {
+	a := &ADC{
+		Taps:  make([]float64, n),
+		Comps: make([]Comparator, n),
+	}
+	for i := 0; i < n; i++ {
+		// Tap i at vlo + (i+0.5) LSB: code k spans one LSB around its
+		// centre.
+		a.Taps[i] = vlo + (float64(i)+0.5)*(vhi-vlo)/float64(n)
+		a.Comps[i].Stuck = StuckNone
+	}
+	return a
+}
+
+// Codes returns the number of output codes (2^n taps → codes 0..n).
+func (a *ADC) Codes() int { return len(a.Taps) + 1 }
+
+// CountingDecode is the robust thermometer decoder: the output code is the
+// number of ones. Bubbles shift the code but never explode.
+func CountingDecode(thermo []bool) int {
+	n := 0
+	for _, b := range thermo {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstZeroDecode models the transition-detecting ROM decoder of real
+// flash converters (and of the paper's ADC): the output code is the
+// position of the lowest unfired comparator. A comparator firing out of
+// order therefore skips codes — exactly why an offset beyond 1 LSB causes
+// a missing code at the circuit edge. This is the default decoder.
+func FirstZeroDecode(thermo []bool) int {
+	for i, b := range thermo {
+		if !b {
+			return i
+		}
+	}
+	return len(thermo)
+}
+
+// Convert produces the output code for one input sample.
+func (a *ADC) Convert(vin float64) int {
+	thermo := make([]bool, len(a.Taps))
+	for i := range a.Taps {
+		c := &a.Comps[i]
+		switch {
+		case c.Stuck == 0:
+			thermo[i] = false
+		case c.Stuck == 1:
+			thermo[i] = true
+		case c.Erratic:
+			a.sampleSeq = a.sampleSeq*6364136223846793005 + 1442695040888963407
+			thermo[i] = a.sampleSeq>>63 == 1
+		default:
+			thermo[i] = vin > a.Taps[i]+c.Offset
+		}
+	}
+	dec := a.Decode
+	if dec == nil {
+		dec = FirstZeroDecode
+	}
+	code := dec(thermo)
+	if code < 0 {
+		code = 0
+	}
+	if code > len(a.Taps) {
+		code = len(a.Taps)
+	}
+	return code
+}
+
+// RampResult is the outcome of a triangular-wave missing-code test.
+type RampResult struct {
+	// Hist counts occurrences of each code.
+	Hist []int
+	// Missing lists the codes that never occurred.
+	Missing []int
+	// Samples is the number of samples taken.
+	Samples int
+}
+
+// HasMissing reports whether any code failed to appear.
+func (r *RampResult) HasMissing() bool { return len(r.Missing) > 0 }
+
+// MissingCodeTest applies the paper's missing-code test: a triangular
+// waveform sweeping slightly beyond both ends of the conversion range,
+// sampled `samples` times (1 000 in the paper), checking that every output
+// number occurs.
+func (a *ADC) MissingCodeTest(vlo, vhi float64, samples int) *RampResult {
+	res := &RampResult{Hist: make([]int, a.Codes()), Samples: samples}
+	span := vhi - vlo
+	over := 0.02 * span // sweep 2 % beyond the range ends
+	for i := 0; i < samples; i++ {
+		ph := 2 * float64(i) / float64(samples) // 0..2 → up and down
+		var v float64
+		if ph <= 1 {
+			v = vlo - over + ph*(span+2*over)
+		} else {
+			v = vhi + over - (ph-1)*(span+2*over)
+		}
+		res.Hist[a.Convert(v)]++
+	}
+	for code, n := range res.Hist {
+		if n == 0 {
+			res.Missing = append(res.Missing, code)
+		}
+	}
+	return res
+}
+
+// INLDNL computes the integral and differential nonlinearity (in LSB) from
+// a dense ramp of the converter's transfer curve, for the ladder example
+// and the DfT studies. It returns the worst absolute INL and DNL.
+func (a *ADC) INLDNL(vlo, vhi float64) (inl, dnl float64) {
+	n := a.Codes()
+	lsb := (vhi - vlo) / float64(n-1)
+	// Locate each code transition by fine sweep.
+	trans := make([]float64, 0, n)
+	prev := a.Convert(vlo - lsb)
+	steps := (n - 1) * 64
+	for i := 0; i <= steps; i++ {
+		v := vlo - lsb + (vhi-vlo+2*lsb)*float64(i)/float64(steps)
+		c := a.Convert(v)
+		for c > prev {
+			trans = append(trans, v)
+			prev++
+		}
+		if c > prev {
+			prev = c
+		}
+	}
+	for k := 1; k < len(trans); k++ {
+		w := (trans[k] - trans[k-1]) / lsb
+		if d := math.Abs(w - 1); d > dnl {
+			dnl = d
+		}
+	}
+	for k := 0; k < len(trans); k++ {
+		ideal := vlo + (float64(k)+0.5)*lsb
+		if d := math.Abs((trans[k] - ideal) / lsb); d > inl {
+			inl = d
+		}
+	}
+	return inl, dnl
+}
+
+// String summarises the ramp result.
+func (r *RampResult) String() string {
+	if !r.HasMissing() {
+		return fmt.Sprintf("all %d codes present in %d samples", len(r.Hist), r.Samples)
+	}
+	return fmt.Sprintf("%d missing codes (first %v) in %d samples", len(r.Missing), r.Missing[0], r.Samples)
+}

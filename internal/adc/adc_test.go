@@ -1,0 +1,208 @@
+package adc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	vlo = 1.0
+	vhi = 3.0
+)
+
+func fresh() *ADC { return New(256, vlo, vhi) }
+
+func TestFaultFreeNoMissingCodes(t *testing.T) {
+	a := fresh()
+	res := a.MissingCodeTest(vlo, vhi, 1000)
+	if res.HasMissing() {
+		t.Fatalf("fault-free ADC has missing codes: %v", res.Missing)
+	}
+	if res.Samples != 1000 {
+		t.Fatalf("Samples = %d", res.Samples)
+	}
+	if res.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestConvertMonotoneFaultFree(t *testing.T) {
+	a := fresh()
+	prev := -1
+	for v := vlo - 0.1; v <= vhi+0.1; v += 0.001 {
+		c := a.Convert(v)
+		if c < prev {
+			t.Fatalf("non-monotone at %g: %d < %d", v, c, prev)
+		}
+		prev = c
+	}
+	if a.Convert(vlo-1) != 0 {
+		t.Fatal("below range must give 0")
+	}
+	if a.Convert(vhi+1) != 256 {
+		t.Fatal("above range must give full scale")
+	}
+}
+
+func TestStuckComparatorCausesMissingCode(t *testing.T) {
+	a := fresh()
+	a.Comps[100].Stuck = 1 // always fires
+	res := a.MissingCodeTest(vlo, vhi, 1000)
+	if !res.HasMissing() {
+		t.Fatal("stuck comparator must produce a missing code")
+	}
+	b := fresh()
+	b.Comps[100].Stuck = 0
+	if !b.MissingCodeTest(vlo, vhi, 1000).HasMissing() {
+		t.Fatal("stuck-low comparator must produce a missing code")
+	}
+}
+
+func TestLargeOffsetCausesMissingCode(t *testing.T) {
+	lsb := (vhi - vlo) / 256
+	a := fresh()
+	a.Comps[128].Offset = 1.6 * lsb // > 1 LSB: code 128's band vanishes
+	if !a.MissingCodeTest(vlo, vhi, 2000).HasMissing() {
+		t.Fatal("offset > 1 LSB must kill a code")
+	}
+	// A small offset (< 1 LSB) must NOT create a missing code.
+	b := fresh()
+	b.Comps[128].Offset = 0.4 * lsb
+	if b.MissingCodeTest(vlo, vhi, 2000).HasMissing() {
+		t.Fatal("offset < 1 LSB must not kill a code")
+	}
+}
+
+func TestCommonOffsetNoMissingCode(t *testing.T) {
+	// A bias fault shifts EVERY comparator equally: the ramp overdrive
+	// still reaches all codes — the paper's hard-to-detect case.
+	a := fresh()
+	for i := range a.Comps {
+		a.Comps[i].Offset = 0.005 // 0.64 LSB common shift
+	}
+	if a.MissingCodeTest(vlo, vhi, 2000).HasMissing() {
+		t.Fatal("common-mode shift must not create missing codes")
+	}
+}
+
+func TestErraticComparator(t *testing.T) {
+	a := fresh()
+	a.Comps[50].Erratic = true
+	// Erratic behaviour scrambles codes around tap 50; the counting
+	// decoder turns it into ±1 code noise. Run the ramp: code histogram
+	// may or may not lose a code, but Convert must stay in range.
+	for v := vlo; v <= vhi; v += 0.01 {
+		c := a.Convert(v)
+		if c < 0 || c > 256 {
+			t.Fatalf("out of range code %d", c)
+		}
+	}
+}
+
+func TestShortedAdjacentTapsMissingCode(t *testing.T) {
+	// A ladder short making taps k and k+1 equal removes code k+1's band.
+	a := fresh()
+	a.Taps[60] = a.Taps[61]
+	if !a.MissingCodeTest(vlo, vhi, 2000).HasMissing() {
+		t.Fatal("equal adjacent taps must produce a missing code")
+	}
+}
+
+func TestCountingDecode(t *testing.T) {
+	if CountingDecode([]bool{true, true, false}) != 2 {
+		t.Fatal("count")
+	}
+	if CountingDecode(nil) != 0 {
+		t.Fatal("empty")
+	}
+	// Bubble: 1,0,1 counts 2 — no explosion.
+	if CountingDecode([]bool{true, false, true}) != 2 {
+		t.Fatal("bubble")
+	}
+}
+
+func TestCustomDecoder(t *testing.T) {
+	a := fresh()
+	called := false
+	a.Decode = func(th []bool) int {
+		called = true
+		return CountingDecode(th)
+	}
+	a.Convert(2.0)
+	if !called {
+		t.Fatal("custom decoder not used")
+	}
+	// A broken decoder mapping everything to 0 loses all codes but 0.
+	b := fresh()
+	b.Decode = func([]bool) int { return 0 }
+	res := b.MissingCodeTest(vlo, vhi, 500)
+	if len(res.Missing) != 256 {
+		t.Fatalf("broken decoder missing = %d, want 256", len(res.Missing))
+	}
+}
+
+func TestINLDNLFaultFree(t *testing.T) {
+	a := New(64, vlo, vhi) // smaller for speed
+	inl, dnl := a.INLDNL(vlo, vhi)
+	if inl > 0.1 || dnl > 0.1 {
+		t.Fatalf("fault-free INL/DNL = %g/%g, want ~0", inl, dnl)
+	}
+	// A 0.5 LSB tap error shows up in INL and DNL.
+	lsb := (vhi - vlo) / 64
+	a.Taps[30] += 0.5 * lsb
+	inl2, dnl2 := a.INLDNL(vlo, vhi)
+	if inl2 < 0.4 || dnl2 < 0.4 {
+		t.Fatalf("tap error INL/DNL = %g/%g, want ≥0.4", inl2, dnl2)
+	}
+}
+
+// Property: the histogram of a ramp test sums to the sample count and the
+// fault-free converter covers every code for any sample count ≥ 4× codes.
+func TestQuickRampHistogram(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := 16 + int(nRaw%4)*16 // 16..64 taps
+		a := New(n, vlo, vhi)
+		samples := 4 * (n + 1)
+		res := a.MissingCodeTest(vlo, vhi, samples)
+		total := 0
+		for _, h := range res.Hist {
+			total += h
+		}
+		return total == samples && !res.HasMissing()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a single stuck slice produces at least one missing code for
+// any tap position.
+func TestQuickStuckAlwaysDetected(t *testing.T) {
+	f := func(posRaw uint8, val bool) bool {
+		a := New(64, vlo, vhi)
+		pos := int(posRaw) % 64
+		if val {
+			a.Comps[pos].Stuck = 1
+		} else {
+			a.Comps[pos].Stuck = 0
+		}
+		return a.MissingCodeTest(vlo, vhi, 1000).HasMissing()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTapSpacing(t *testing.T) {
+	a := fresh()
+	lsb := (vhi - vlo) / 256
+	for i := 1; i < len(a.Taps); i++ {
+		if d := a.Taps[i] - a.Taps[i-1]; math.Abs(d-lsb) > 1e-12 {
+			t.Fatalf("tap spacing %g at %d, want %g", d, i, lsb)
+		}
+	}
+	if a.Codes() != 257 {
+		t.Fatalf("Codes = %d", a.Codes())
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import "repro/internal/spectest"
+
+// SpecCoverage computes the fault coverage of the specification-oriented
+// baseline test over the same (area-scaled) fault population as Fig4 —
+// the comparison behind the paper's claim that the defect-oriented simple
+// test achieves higher coverage at lower cost than functional testing.
+func SpecCoverage(run *Run, nonCat bool, lim spectest.Limits) float64 {
+	var det, total float64
+	for _, m := range run.Macros {
+		as := m.Cat
+		if nonCat {
+			as = m.NonCat
+		}
+		mag := analysedMagnitude(as)
+		if mag == 0 {
+			continue
+		}
+		w := m.Weight()
+		for _, a := range as {
+			share := w * float64(a.Class.Count) / float64(mag)
+			total += share
+			if spectest.Detects(a.Resp, lim) {
+				det += share
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * det / total
+}
+
+// BaselineComparison bundles the coverage/cost comparison between the
+// defect-oriented simple test and the specification-oriented baseline.
+type BaselineComparison struct {
+	// SimpleCoverage and SpecCoverage are fault-coverage percentages.
+	SimpleCoverage, SpecCoverage float64
+	// SimpleTestSeconds and SpecTestSeconds are tester times.
+	SimpleTestSeconds, SpecTestSeconds float64
+}
+
+// CompareBaseline evaluates both tests on one run.
+func CompareBaseline(run *Run, simpleSeconds, specSeconds float64) BaselineComparison {
+	return BaselineComparison{
+		SimpleCoverage:    Fig4(run, false).Total(),
+		SpecCoverage:      SpecCoverage(run, false, spectest.DefaultLimits()),
+		SimpleTestSeconds: simpleSeconds,
+		SpecTestSeconds:   specSeconds,
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/signature"
+	"repro/internal/spectest"
+)
+
+// syntheticRun builds a run with a known mix: 40 % voltage+current,
+// 30 % current-only (spec-blind), 20 % spec-visible sub-LSB offset,
+// 10 % undetected.
+func syntheticRun() *Run {
+	mk := func(det Detection, resp *signature.Response, count int) ClassAnalysis {
+		return ClassAnalysis{
+			Class: faults.Class{Fault: faults.Fault{Kind: faults.Short, Nets: []string{"a", "b"}}, Count: count},
+			Resp:  resp,
+			Det:   det,
+		}
+	}
+	m := &MacroRun{
+		Name: "m", Count: 1, Area: 1, FaultRate: 1,
+		Cat: []ClassAnalysis{
+			mk(Detection{Missing: true, IVdd: true},
+				&signature.Response{Voltage: signature.VSigStuck, MissingCode: true}, 4),
+			mk(Detection{IDDQ: true},
+				&signature.Response{Voltage: signature.VSigClock}, 3),
+			mk(Detection{},
+				&signature.Response{Voltage: signature.VSigNone, OffsetV: 5e-3}, 2),
+			mk(Detection{},
+				&signature.Response{Voltage: signature.VSigNone, OffsetV: 1e-4}, 1),
+		},
+	}
+	return &Run{Macros: []*MacroRun{m}}
+}
+
+func TestSpecCoverage(t *testing.T) {
+	run := syntheticRun()
+	// Spec test sees: the stuck class (4) and the 5 mV offset class (2)
+	// = 60 %; it is blind to the IDDQ-only class and the tiny offset.
+	got := SpecCoverage(run, false, spectest.DefaultLimits())
+	if math.Abs(got-60) > 1e-9 {
+		t.Fatalf("SpecCoverage = %g, want 60", got)
+	}
+	// The simple test sees stuck + IDDQ = 70 %.
+	if g := Fig4(run, false); math.Abs(g.Total()-70) > 1e-9 {
+		t.Fatalf("simple coverage = %g, want 70", g.Total())
+	}
+}
+
+func TestCompareBaseline(t *testing.T) {
+	run := syntheticRun()
+	cmp := CompareBaseline(run, 650e-6, 3.5e-3)
+	if cmp.SimpleCoverage <= cmp.SpecCoverage {
+		t.Fatalf("on this population the simple test must win: %+v", cmp)
+	}
+	if cmp.SpecTestSeconds <= cmp.SimpleTestSeconds {
+		t.Fatal("spec test must cost more")
+	}
+}
+
+func TestSpecCoverageEmpty(t *testing.T) {
+	if SpecCoverage(&Run{}, false, spectest.DefaultLimits()) != 0 {
+		t.Fatal("empty run")
+	}
+}
+
+func TestTwoPassMagnitudeMapping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sprinkles twice")
+	}
+	cfg := QuickConfig()
+	cfg.Defects = 3000
+	cfg.MagnitudeDefects = 12000
+	cfg.MaxClassesPerMacro = 1 // statistics only
+	p := NewPipeline(cfg)
+	run, err := p.RunMacro("ladder", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.MagnitudeDefects != 12000 {
+		t.Fatalf("magnitude defects = %d", run.MagnitudeDefects)
+	}
+	// Bookkeeping: matched magnitude mass equals the summed class
+	// counts, and the class catalogue stays bounded by discovery.
+	sum := 0
+	for _, c := range run.Classes {
+		sum += c.Count
+	}
+	if sum != run.TotalFaults {
+		t.Fatalf("class mass %d != TotalFaults %d", sum, run.TotalFaults)
+	}
+	if run.UnmatchedFaults < 0 {
+		t.Fatalf("unmatched = %d", run.UnmatchedFaults)
+	}
+	if len(run.Classes) > run.DiscoveryFaults {
+		t.Fatal("catalogue cannot exceed discovery fault count")
+	}
+	// Classes sorted by descending magnitude.
+	for i := 1; i < len(run.Classes); i++ {
+		if run.Classes[i].Count > run.Classes[i-1].Count {
+			t.Fatal("classes must be magnitude-sorted")
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/macros"
+	"repro/internal/signature"
+)
+
+func TestDetectionPredicates(t *testing.T) {
+	d := Detection{}
+	if d.Voltage() || d.Current() || d.Any() {
+		t.Fatal("empty detection")
+	}
+	if !(Detection{Missing: true}).Voltage() {
+		t.Fatal("missing ⇒ voltage")
+	}
+	for _, d := range []Detection{{IVdd: true}, {IDDQ: true}, {Iin: true}} {
+		if !d.Current() || !d.Any() || d.Voltage() {
+			t.Fatalf("current detection predicate: %+v", d)
+		}
+	}
+}
+
+func TestChipifyNominal(t *testing.T) {
+	p := NewPipeline(QuickConfig())
+	parts, err := p.nominals(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := p.Chipify(parts, "", nil)
+	// 22 chip-level measurement keys.
+	if len(chip.Currents) != 22 {
+		t.Fatalf("chip keys = %d (%v)", len(chip.Currents), chip.Keys())
+	}
+	// IVdd during sampling is dominated by 256 flipflop leaks (~26 mA).
+	ivdd := chip.Currents["ivdd.samp.lo"]
+	if ivdd < 10e-3 || ivdd > 100e-3 {
+		t.Fatalf("chip ivdd.samp.lo = %g", ivdd)
+	}
+	// IVdd during amplify is just the class-A biasing (tens of mA).
+	amp := chip.Currents["ivdd.amp.lo"]
+	if amp >= ivdd {
+		t.Fatal("sampling leak must exceed amplify bias")
+	}
+	// Reference input current ≈ 1 mA (the ladder string).
+	if v := chip.Currents["iin.vref.lo"]; v < 0.5e-3 || v > 2e-3 {
+		t.Fatalf("iin.vref.lo = %g", v)
+	}
+	// Digital supply quiescent.
+	if v := chip.Currents["iddq.amp.lo"]; math.Abs(v) > 1e-5 {
+		t.Fatalf("iddq.amp.lo = %g", v)
+	}
+}
+
+func TestChipifyFaultySubstitution(t *testing.T) {
+	p := NewPipeline(QuickConfig())
+	parts, err := p.nominals(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nomChip := p.Chipify(parts, "", nil)
+	// A fake faulty comparator slice drawing 5 mA extra in amplify.
+	faulty := &signature.Response{Currents: map[string]float64{}}
+	for k, v := range parts["comparator"].Currents {
+		faulty.Currents[k] = v
+	}
+	faulty.Currents["slice.ivdd.amp.lo"] += 5e-3
+	chip := p.Chipify(parts, "comparator", faulty)
+	d := chip.Currents["ivdd.amp.lo"] - nomChip.Currents["ivdd.amp.lo"]
+	if math.Abs(d-5e-3) > 1e-6 {
+		t.Fatalf("slice delta propagated = %g, want 5e-3", d)
+	}
+	// The same delta through the biasgen path is scaled by 256 slices.
+	chipB := p.Chipify(parts, "biasgen", faulty)
+	dB := chipB.Currents["ivdd.amp.lo"] - nomChip.Currents["ivdd.amp.lo"]
+	if math.Abs(dB-256*5e-3) > 1e-6 {
+		t.Fatalf("bias delta propagated = %g, want %g", dB, 256*5e-3)
+	}
+}
+
+func TestGoodSpaceSamplingSpread(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.MCSamples = 25
+	p := NewPipeline(cfg)
+	pre, err := p.GoodSpace(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := p.GoodSpace(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flipflop leakage spread dominates the pre-DfT sampling-phase
+	// IVdd sigma; the DfT redesign collapses it.
+	preS := pre.Sigma["ivdd.samp.lo"]
+	postS := post.Sigma["ivdd.samp.lo"]
+	if preS < 2*postS {
+		t.Fatalf("pre-DfT sampling sigma %g should dwarf post-DfT %g", preS, postS)
+	}
+	// Paper scale: the sampling-phase spread is ~15 mA (3σ).
+	if tot := 3 * preS; tot < 5e-3 || tot > 40e-3 {
+		t.Fatalf("3σ sampling spread = %g, want ~15 mA scale", tot)
+	}
+	// Caching: same pointer second time.
+	again, _ := p.GoodSpace(false)
+	if again != pre {
+		t.Fatal("good space must be cached")
+	}
+}
+
+func TestAnalyzeClassEndToEnd(t *testing.T) {
+	p := NewPipeline(QuickConfig())
+	// A hard comparator fault: output node shorted low → stuck → missing
+	// code.
+	ca, err := p.AnalyzeClass("comparator", faults.Class{
+		Fault: faults.Fault{Kind: faults.Short, Nets: []string{"o1", "vss"}, Res: 0.2},
+		Count: 3,
+	}, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ca.Det.Missing {
+		t.Fatalf("o1-vss short must be voltage-detected: %+v resp=%v", ca.Det, ca.Resp.Voltage)
+	}
+	// A ladder cross-row short: current-detected.
+	lc, err := p.AnalyzeClass("ladder", faults.Class{
+		Fault: faults.Fault{Kind: faults.Short, Nets: []string{"t096", "t128"}, Res: 0.2},
+		Count: 1,
+	}, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lc.Det.Iin {
+		t.Fatalf("cross-row ladder short must be Iinput-detected: %+v", lc.Det)
+	}
+	// The pre-DfT hard case: similar-bias short — neither mechanism.
+	bc, err := p.AnalyzeClass("biasgen", faults.Class{
+		Fault: faults.Fault{Kind: faults.Short, Nets: []string{"vbn1", "vbn2"}, Res: 0.2},
+		Count: 1,
+	}, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Det.Missing {
+		t.Fatalf("common-mode bias short must not be voltage-detected: %+v", bc.Det)
+	}
+}
+
+func TestRunMacroQuickComparator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run is seconds-long")
+	}
+	cfg := QuickConfig()
+	cfg.MaxClassesPerMacro = 8
+	p := NewPipeline(cfg)
+	run, err := p.RunMacro("comparator", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.DiscoveryFaults == 0 || len(run.Classes) == 0 {
+		t.Fatalf("no faults found: %+v", run)
+	}
+	if len(run.Cat) == 0 || len(run.Cat) > 8 {
+		t.Fatalf("analysed classes = %d", len(run.Cat))
+	}
+	// Shorts must dominate the fault population (paper: > 95 %).
+	rows := Table1(run)
+	if rows[0].Kind != faults.Short {
+		t.Fatal("first Table 1 row must be Short")
+	}
+	if rows[0].FaultsPct < 50 {
+		t.Fatalf("shorts = %.1f%% of faults, want dominant", rows[0].FaultsPct)
+	}
+	// Weight and locality are populated.
+	if run.Weight() <= 0 {
+		t.Fatal("zero weight")
+	}
+	if pct := LocalFaultPct(run); pct <= 0 || pct >= 100 {
+		t.Fatalf("local fault pct = %g", pct)
+	}
+}
+
+func TestExperimentHelpers(t *testing.T) {
+	// Synthetic run exercising the table/figure arithmetic.
+	mk := func(det Detection, sig signature.VoltageSig, count int) ClassAnalysis {
+		return ClassAnalysis{
+			Class: faults.Class{Fault: faults.Fault{Kind: faults.Short, Nets: []string{"a", "b"}}, Count: count},
+			Resp:  &signature.Response{Voltage: sig},
+			Det:   det,
+		}
+	}
+	m := &MacroRun{
+		Name: "synthetic", Count: 1, Area: 100, FaultRate: 0.1,
+		Classes: []faults.Class{
+			{Fault: faults.Fault{Kind: faults.Short, Nets: []string{"a", "b"}}, Count: 6},
+			{Fault: faults.Fault{Kind: faults.Open, Nets: []string{"c"}}, Count: 4},
+		},
+		TotalFaults: 10,
+		Cat: []ClassAnalysis{
+			mk(Detection{Missing: true, IVdd: true}, signature.VSigStuck, 5),
+			mk(Detection{IDDQ: true}, signature.VSigClock, 3),
+			mk(Detection{}, signature.VSigNone, 2),
+		},
+	}
+	cat, _ := Table2(m)
+	if math.Abs(cat[signature.VSigStuck]-50) > 1e-9 {
+		t.Fatalf("Table2 stuck = %g", cat[signature.VSigStuck])
+	}
+	cd, _ := Table3(m)
+	if math.Abs(cd.IVdd-50) > 1e-9 || math.Abs(cd.IDDQ-30) > 1e-9 || math.Abs(cd.None-20) > 1e-9 {
+		t.Fatalf("Table3 = %+v", cd)
+	}
+	dist := Fig3(m, false)
+	s := SummarizeFig3(dist)
+	if math.Abs(s.MissingCode-50) > 1e-9 || math.Abs(s.CurrentOnly-30) > 1e-9 ||
+		math.Abs(s.IDDQOnly-30) > 1e-9 || math.Abs(s.Covered-80) > 1e-9 {
+		t.Fatalf("Fig3 summary = %+v", s)
+	}
+	cov := MacroCoverage(m, false)
+	if math.Abs(cov.Total()-80) > 1e-9 || math.Abs(cov.Undetected-20) > 1e-9 {
+		t.Fatalf("coverage = %+v", cov)
+	}
+	if math.Abs(CurrentDetectability(m, false)-80) > 1e-9 {
+		t.Fatal("current detectability")
+	}
+	run := &Run{Macros: []*MacroRun{m}}
+	g := Fig4(run, false)
+	if math.Abs(g.Total()-80) > 1e-9 {
+		t.Fatalf("Fig4 = %+v", g)
+	}
+	// Table1 percentages.
+	rows := Table1(m)
+	var shortRow, openRow Table1Row
+	for _, r := range rows {
+		switch r.Kind {
+		case faults.Short:
+			shortRow = r
+		case faults.Open:
+			openRow = r
+		}
+	}
+	if shortRow.Faults != 6 || math.Abs(shortRow.FaultsPct-60) > 1e-9 {
+		t.Fatalf("short row = %+v", shortRow)
+	}
+	if openRow.Classes != 1 || math.Abs(openRow.ClassesPct-50) > 1e-9 {
+		t.Fatalf("open row = %+v", openRow)
+	}
+}
+
+func TestQuickConfigBounds(t *testing.T) {
+	cfg := QuickConfig()
+	if cfg.Defects <= 0 || cfg.MCSamples <= 0 || cfg.NSigma != 3 {
+		t.Fatalf("bad quick config: %+v", cfg)
+	}
+	d := DefaultConfig()
+	if d.Defects != 25000 {
+		t.Fatalf("paper's discovery sprinkle is 25k, got %d", d.Defects)
+	}
+}
+
+func TestUnknownMacro(t *testing.T) {
+	p := NewPipeline(QuickConfig())
+	if _, err := p.RunMacro("nope", false); err == nil {
+		t.Fatal("unknown macro must error")
+	}
+	names := p.MacroNames()
+	if len(names) != 5 {
+		t.Fatalf("macros = %v", names)
+	}
+	_ = macros.Nominal()
+}
+
+// TestPipelineDeterminism: identical configurations reproduce identical
+// verdicts (every Monte Carlo stage is seeded).
+func TestPipelineDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pipeline twice")
+	}
+	cfg := QuickConfig()
+	cfg.MaxClassesPerMacro = 6
+	runOne := func() *MacroRun {
+		p := NewPipeline(cfg)
+		run, err := p.RunMacro("ladder", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+	a, b := runOne(), runOne()
+	if len(a.Cat) != len(b.Cat) || a.TotalFaults != b.TotalFaults {
+		t.Fatalf("nondeterministic stats: %d/%d vs %d/%d",
+			len(a.Cat), a.TotalFaults, len(b.Cat), b.TotalFaults)
+	}
+	for i := range a.Cat {
+		if a.Cat[i].Class.Fault.Key() != b.Cat[i].Class.Fault.Key() {
+			t.Fatalf("class order differs at %d", i)
+		}
+		if a.Cat[i].Det != b.Cat[i].Det {
+			t.Fatalf("verdict differs for %s", a.Cat[i].Class.Fault)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestDfTBiasShortFlip is the paper's DfT-2 story as a regression test:
+// shorts between the PRE-DfT-adjacent bias lines (nearly identical
+// voltages) are undetectable; with the re-ordered lines, the defects land
+// between n- and p-type lines and become strongly current-detectable.
+func TestDfTBiasShortFlip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several comparator fault simulations")
+	}
+	cfg := QuickConfig()
+	cfg.MCSamples = 15
+	p := NewPipeline(cfg)
+	analyse := func(nets []string, dft bool) *ClassAnalysis {
+		a, err := p.AnalyzeClass("biasgen", faults.Class{
+			Fault: faults.Fault{Kind: faults.Short, Nets: nets, Res: 0.2}, Count: 1,
+		}, false, dft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	// Pre-DfT adjacency: the hard, undetectable classes.
+	for _, nets := range [][]string{{"vbn1", "vbn2"}, {"vbp1", "vbp2"}} {
+		if a := analyse(nets, false); a.Det.Any() {
+			t.Fatalf("pre-DfT short(%v) must be undetectable: %+v", nets, a.Det)
+		}
+	}
+	// Post-DfT adjacency: detectable via IVdd.
+	for _, nets := range [][]string{{"vbn1", "vbp1"}, {"vbn2", "vbp2"}} {
+		if a := analyse(nets, true); !a.Det.IVdd {
+			t.Fatalf("post-DfT short(%v) must be IVdd-detected: %+v", nets, a.Det)
+		}
+	}
+}

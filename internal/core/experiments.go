@@ -1,0 +1,270 @@
+package core
+
+import (
+	"repro/internal/faults"
+	"repro/internal/signature"
+)
+
+// Table1Row is one row of the paper's Table 1: catastrophic faults and
+// fault classes per fault mechanism.
+type Table1Row struct {
+	Kind       faults.Kind
+	Faults     int
+	FaultsPct  float64
+	Classes    int
+	ClassesPct float64
+}
+
+// Table1 computes the fault/class breakdown by mechanism for a macro run.
+func Table1(run *MacroRun) []Table1Row {
+	faultCounts := map[faults.Kind]int{}
+	classCounts := map[faults.Kind]int{}
+	totalFaults := 0
+	for _, c := range run.Classes {
+		faultCounts[c.Fault.Kind] += c.Count
+		classCounts[c.Fault.Kind]++
+		totalFaults += c.Count
+	}
+	var rows []Table1Row
+	for _, k := range SortedKinds() {
+		r := Table1Row{Kind: k, Faults: faultCounts[k], Classes: classCounts[k]}
+		if totalFaults > 0 {
+			r.FaultsPct = 100 * float64(r.Faults) / float64(totalFaults)
+		}
+		if len(run.Classes) > 0 {
+			r.ClassesPct = 100 * float64(r.Classes) / float64(len(run.Classes))
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// SigDist is a voltage-signature distribution in percent of faults.
+type SigDist map[signature.VoltageSig]float64
+
+// weightedSigDist tallies voltage signatures over analyses, weighted by
+// class magnitude.
+func weightedSigDist(as []ClassAnalysis) SigDist {
+	total := analysedMagnitude(as)
+	dist := SigDist{}
+	if total == 0 {
+		return dist
+	}
+	for _, a := range as {
+		dist[a.Resp.Voltage] += 100 * float64(a.Class.Count) / float64(total)
+	}
+	return dist
+}
+
+// Table2 computes the voltage fault-signature distributions (catastrophic
+// and non-catastrophic) for a macro run — the paper's Table 2.
+func Table2(run *MacroRun) (cat, nonCat SigDist) {
+	return weightedSigDist(run.Cat), weightedSigDist(run.NonCat)
+}
+
+// CurrentDist is a current-signature distribution in percent of faults.
+// The mechanisms overlap, so rows may sum to more than 100 % (as in the
+// paper's Table 3).
+type CurrentDist struct {
+	IVdd, IDDQ, Iin, None float64
+}
+
+// weightedCurrentDist tallies current signatures weighted by magnitude.
+func weightedCurrentDist(as []ClassAnalysis) CurrentDist {
+	total := analysedMagnitude(as)
+	var d CurrentDist
+	if total == 0 {
+		return d
+	}
+	for _, a := range as {
+		w := 100 * float64(a.Class.Count) / float64(total)
+		hit := false
+		if a.Det.IVdd {
+			d.IVdd += w
+			hit = true
+		}
+		if a.Det.IDDQ {
+			d.IDDQ += w
+			hit = true
+		}
+		if a.Det.Iin {
+			d.Iin += w
+			hit = true
+		}
+		if !hit {
+			d.None += w
+		}
+	}
+	return d
+}
+
+// Table3 computes the current fault-signature distributions for a macro
+// run — the paper's Table 3.
+func Table3(run *MacroRun) (cat, nonCat CurrentDist) {
+	return weightedCurrentDist(run.Cat), weightedCurrentDist(run.NonCat)
+}
+
+// ComboDist maps each detection combination to its percentage — the
+// paper's Fig. 3 grid for the comparator.
+type ComboDist map[Detection]float64
+
+// Fig3 computes the detection-combination distribution for a macro run.
+func Fig3(run *MacroRun, nonCat bool) ComboDist {
+	as := run.Cat
+	if nonCat {
+		as = run.NonCat
+	}
+	total := analysedMagnitude(as)
+	dist := ComboDist{}
+	if total == 0 {
+		return dist
+	}
+	for _, a := range as {
+		dist[a.Det] += 100 * float64(a.Class.Count) / float64(total)
+	}
+	return dist
+}
+
+// Fig3Summary distils the headline numbers the paper reads off Fig. 3.
+type Fig3Summary struct {
+	// MissingCode is the total voltage (missing-code) detection.
+	MissingCode float64
+	// CurrentAny is the total current detection.
+	CurrentAny float64
+	// CurrentOnly is detectable by current but not voltage.
+	CurrentOnly float64
+	// IDDQOnly is detectable only by the clock-generator IDDQ.
+	IDDQOnly float64
+	// Covered is the union of all mechanisms.
+	Covered float64
+}
+
+// SummarizeFig3 reduces a combination distribution to headline figures.
+func SummarizeFig3(dist ComboDist) Fig3Summary {
+	var s Fig3Summary
+	for det, pct := range dist {
+		if det.Missing {
+			s.MissingCode += pct
+		}
+		if det.Current() {
+			s.CurrentAny += pct
+		}
+		if det.Current() && !det.Missing {
+			s.CurrentOnly += pct
+		}
+		if det.IDDQ && !det.Missing && !det.IVdd && !det.Iin {
+			s.IDDQOnly += pct
+		}
+		if det.Any() {
+			s.Covered += pct
+		}
+	}
+	return s
+}
+
+// GlobalCoverage is the paper's Fig. 4/5 pie: the fault population split
+// by detection mechanism, in percent.
+type GlobalCoverage struct {
+	VoltageOnly float64
+	Both        float64
+	CurrentOnly float64
+	Undetected  float64
+}
+
+// Total returns the overall fault coverage.
+func (g GlobalCoverage) Total() float64 { return g.VoltageOnly + g.Both + g.CurrentOnly }
+
+// Fig4 compiles per-macro analyses into the global coverage, scaling each
+// macro's fault-signature probabilities by area × instance count ×
+// fault rate (equal defect density across the die, as in the paper).
+func Fig4(run *Run, nonCat bool) GlobalCoverage {
+	var g GlobalCoverage
+	var totalWeight float64
+	type part struct {
+		w   float64
+		cov GlobalCoverage
+	}
+	var parts []part
+	for _, m := range run.Macros {
+		as := m.Cat
+		if nonCat {
+			as = m.NonCat
+		}
+		total := analysedMagnitude(as)
+		if total == 0 {
+			continue
+		}
+		var cov GlobalCoverage
+		for _, a := range as {
+			w := 100 * float64(a.Class.Count) / float64(total)
+			switch {
+			case a.Det.Voltage() && a.Det.Current():
+				cov.Both += w
+			case a.Det.Voltage():
+				cov.VoltageOnly += w
+			case a.Det.Current():
+				cov.CurrentOnly += w
+			default:
+				cov.Undetected += w
+			}
+		}
+		w := m.Weight()
+		parts = append(parts, part{w: w, cov: cov})
+		totalWeight += w
+	}
+	if totalWeight == 0 {
+		return g
+	}
+	for _, p := range parts {
+		f := p.w / totalWeight
+		g.VoltageOnly += f * p.cov.VoltageOnly
+		g.Both += f * p.cov.Both
+		g.CurrentOnly += f * p.cov.CurrentOnly
+		g.Undetected += f * p.cov.Undetected
+	}
+	return g
+}
+
+// MacroCoverage computes one macro's own coverage split.
+func MacroCoverage(m *MacroRun, nonCat bool) GlobalCoverage {
+	as := m.Cat
+	if nonCat {
+		as = m.NonCat
+	}
+	total := analysedMagnitude(as)
+	var cov GlobalCoverage
+	if total == 0 {
+		return cov
+	}
+	for _, a := range as {
+		w := 100 * float64(a.Class.Count) / float64(total)
+		switch {
+		case a.Det.Voltage() && a.Det.Current():
+			cov.Both += w
+		case a.Det.Voltage():
+			cov.VoltageOnly += w
+		case a.Det.Current():
+			cov.CurrentOnly += w
+		default:
+			cov.Undetected += w
+		}
+	}
+	return cov
+}
+
+// CurrentDetectability returns the percentage of a macro's faults
+// detectable by current measurements (the paper quotes 93.8 % for the
+// clock generator and 99.8 % for the reference ladder).
+func CurrentDetectability(m *MacroRun, nonCat bool) float64 {
+	cov := MacroCoverage(m, nonCat)
+	return cov.Both + cov.CurrentOnly
+}
+
+// LocalFaultPct returns the percentage of a macro's faults that touch
+// only its internal nets (paper: 27.8 % for the comparator).
+func LocalFaultPct(m *MacroRun) float64 {
+	if m.TotalFaults == 0 {
+		return 0
+	}
+	return 100 * float64(m.LocalFaults) / float64(m.TotalFaults)
+}

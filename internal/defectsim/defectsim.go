@@ -1,0 +1,398 @@
+// Package defectsim is the reproduction's equivalent of VLASIC (Walker &
+// Director): a Monte Carlo catastrophic spot-defect simulator. Defects —
+// disks of extra or missing material, oxide/junction pinholes, parasitic
+// contacts and parasitic devices — are sprinkled over a macro cell's
+// layout with process-defined densities and size statistics; geometric
+// analysis decides whether each defect causes a circuit-level fault and,
+// if so, extracts the fault record (which nets short, which net opens and
+// which terminals are split away, which device is struck).
+package defectsim
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/process"
+)
+
+// Result is the outcome of a sprinkle run.
+type Result struct {
+	// Defects is the number of defects sprinkled.
+	Defects int
+	// Faults holds one record per defect that caused a fault.
+	Faults []faults.Fault
+}
+
+// FaultRate returns the fraction of defects that caused faults.
+func (r *Result) FaultRate() float64 {
+	if r.Defects == 0 {
+		return 0
+	}
+	return float64(len(r.Faults)) / float64(r.Defects)
+}
+
+// Simulator sprinkles defects over one cell.
+type Simulator struct {
+	Cell *layout.Cell
+	Proc *process.Process
+
+	graph *netGraph
+}
+
+// New prepares a simulator for the cell (building the connectivity graph
+// once).
+func New(cell *layout.Cell, proc *process.Process) *Simulator {
+	return &Simulator{Cell: cell, Proc: proc, graph: buildNetGraph(cell)}
+}
+
+// Sprinkle drops n defects with the given seed and extracts the faults.
+func (s *Simulator) Sprinkle(n int, seed int64) *Result {
+	rng := rand.New(rand.NewSource(seed))
+	res := &Result{Defects: n}
+	b := s.Cell.Bounds().Expand(1)
+	for i := 0; i < n; i++ {
+		spec := s.Proc.PickDefect(rng)
+		d := geom.Disk{
+			C: geom.Point{
+				X: b.X0 + rng.Float64()*b.W(),
+				Y: b.Y0 + rng.Float64()*b.H(),
+			},
+			R: spec.SampleDiameter(rng) / 2,
+		}
+		if f, ok := s.extract(spec, d); ok {
+			res.Faults = append(res.Faults, f)
+		}
+	}
+	return res
+}
+
+// extract maps one defect to at most one circuit-level fault.
+func (s *Simulator) extract(spec process.DefectSpec, d geom.Disk) (faults.Fault, bool) {
+	switch spec.Type {
+	case process.ExtraMaterial:
+		return s.extractBridge(spec.Layer, d)
+	case process.MissingMaterial:
+		return s.extractMissing(spec.Layer, d)
+	case process.GateOxidePinhole:
+		return s.extractGOS(d)
+	case process.JunctionPinhole:
+		return s.extractJunction(d)
+	case process.ThickOxidePinhole:
+		return s.extractThickOx(d)
+	case process.ExtraContact:
+		return s.extractExtraContact(d)
+	case process.ExtraPoly:
+		return s.extractNewDevice(d)
+	}
+	return faults.Fault{}, false
+}
+
+// markLocal sets Local on f given the nets it touches.
+func (s *Simulator) markLocal(f faults.Fault, nets []string) faults.Fault {
+	f.Local = true
+	for _, n := range nets {
+		if s.Cell.Ports[n] {
+			f.Local = false
+		}
+	}
+	return f
+}
+
+// extractBridge handles extra conductor material: a short among all
+// distinct nets whose shapes the disk touches on that layer. A defect
+// confined to the body of a single resistor (touching only that device's
+// wire shapes) changes its resistance parametrically but does not change
+// connectivity — it is not a catastrophic fault and is skipped, exactly
+// as VLASIC reports only connectivity changes.
+func (s *Simulator) extractBridge(l process.Layer, d geom.Disk) (faults.Fault, bool) {
+	netSet := map[string]bool{}
+	sameResistor := true
+	resistorDev := ""
+	for _, idx := range s.Cell.QueryDisk(l, d) {
+		sh := s.Cell.Shapes[idx]
+		if sh.Net == "" {
+			continue
+		}
+		netSet[sh.Net] = true
+		if sh.Role != layout.Wire || sh.Device == "" {
+			sameResistor = false
+		} else if resistorDev == "" {
+			resistorDev = sh.Device
+		} else if resistorDev != sh.Device {
+			sameResistor = false
+		}
+	}
+	if len(netSet) < 2 {
+		return faults.Fault{}, false
+	}
+	if sameResistor && resistorDev != "" {
+		return faults.Fault{}, false
+	}
+	nets := make([]string, 0, len(netSet))
+	for n := range netSet {
+		nets = append(nets, n)
+	}
+	sort.Strings(nets)
+	f := faults.Fault{Kind: faults.Short, Nets: nets, Res: s.Proc.ShortRes[l]}
+	return s.markLocal(f, nets), true
+}
+
+// extractMissing handles missing conductor material: a shorted device when
+// the disk removes a full gate, otherwise an open when it severs a wire.
+func (s *Simulator) extractMissing(l process.Layer, d geom.Disk) (faults.Fault, bool) {
+	hits := s.Cell.QueryDisk(l, d)
+	// Gate removal first: shorted device.
+	for _, idx := range hits {
+		sh := s.Cell.Shapes[idx]
+		if sh.Role == layout.Gate && d.SpansWidth(sh.Rect) {
+			f := faults.Fault{Kind: faults.ShortedDevice, Device: sh.Device, Res: s.Proc.ShortedDeviceRes}
+			return s.markLocal(f, []string{sh.Net}), true
+		}
+	}
+	// Wire severing: the first severed shape defines the open.
+	for _, idx := range hits {
+		sh := s.Cell.Shapes[idx]
+		if sh.Role != layout.Wire || !d.SpansWidth(sh.Rect) {
+			continue
+		}
+		far, ok := s.openFarTerminals(sh.Net, idx, d)
+		if !ok {
+			continue // severed a stub: electrically irrelevant
+		}
+		f := faults.Fault{Kind: faults.Open, Nets: []string{sh.Net}, FarTerminals: far}
+		return s.markLocal(f, []string{sh.Net}), true
+	}
+	return faults.Fault{}, false
+}
+
+// openFarTerminals computes the terminals split from net when the defect d
+// severs the wire shape at index severed. The severed wire is replaced by
+// its two halves on either side of the defect; the half (and anything
+// connected through it) containing the net's earliest-added shape keeps
+// the net name — by layout convention the first shape of a port net is the
+// port entry, so the stimulus side survives. Returns ok=false when the cut
+// isolates no terminals.
+func (s *Simulator) openFarTerminals(net string, severed int, d geom.Disk) ([]faults.Terminal, bool) {
+	r := s.Cell.Shapes[severed].Rect
+	var halfA, halfB geom.Rect
+	if r.W() >= r.H() {
+		halfA = geom.NewRect(r.X0, r.Y0, clampLo(d.C.X-d.R, r.X0, r.X1), r.Y1)
+		halfB = geom.NewRect(clampLo(d.C.X+d.R, r.X0, r.X1), r.Y0, r.X1, r.Y1)
+	} else {
+		halfA = geom.NewRect(r.X0, r.Y0, r.X1, clampLo(d.C.Y-d.R, r.Y0, r.Y1))
+		halfB = geom.NewRect(r.X0, clampLo(d.C.Y+d.R, r.Y0, r.Y1), r.X1, r.Y1)
+	}
+
+	comps := s.graph.components(net, severed)
+	// Union-find over comps plus the two pseudo halves.
+	const pseudoA, pseudoB = -1, -2
+	parent := map[int]int{pseudoA: pseudoA, pseudoB: pseudoB}
+	for i := range comps {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	compOf := map[int]int{}
+	for i, comp := range comps {
+		for _, idx := range comp {
+			compOf[idx] = i
+		}
+	}
+	// Reconnect neighbours of the severed shape to whichever half they
+	// touch. A neighbour spanning the cut re-merges both halves.
+	for _, nb := range s.graph.adj[severed] {
+		ci, ok := compOf[nb]
+		if !ok {
+			continue
+		}
+		nr := s.Cell.Shapes[nb].Rect
+		if !halfA.Empty() && nr.Intersects(halfA) {
+			union(ci, pseudoA)
+		}
+		if !halfB.Empty() && nr.Intersects(halfB) {
+			union(ci, pseudoB)
+		}
+	}
+	if find(pseudoA) == find(pseudoB) {
+		return nil, false // a redundant path spans the cut: no open
+	}
+	// Anchor: the net's earliest shape, or pseudo half A when the severed
+	// shape itself is earliest.
+	near := find(pseudoA)
+	for _, idx := range s.graph.byNet[net] {
+		if idx == severed {
+			break
+		}
+		near = find(compOf[idx])
+		break
+	}
+	var far []faults.Terminal
+	seen := map[faults.Terminal]bool{}
+	for i, comp := range comps {
+		if find(i) == near {
+			continue
+		}
+		for _, idx := range comp {
+			sh := s.Cell.Shapes[idx]
+			if sh.Device == "" {
+				continue
+			}
+			t := faults.Terminal{Device: sh.Device, Net: net}
+			if !seen[t] {
+				seen[t] = true
+				far = append(far, t)
+			}
+		}
+	}
+	if len(far) == 0 {
+		return nil, false
+	}
+	sort.Slice(far, func(i, j int) bool { return far[i].Device < far[j].Device })
+	return far, true
+}
+
+// clampLo clamps v into [lo, hi].
+func clampLo(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// extractGOS handles gate-oxide pinholes: the disk must land on a gate.
+func (s *Simulator) extractGOS(d geom.Disk) (faults.Fault, bool) {
+	for _, l := range []process.Layer{process.Poly} {
+		for _, idx := range s.Cell.QueryDisk(l, d) {
+			sh := s.Cell.Shapes[idx]
+			if sh.Role == layout.Gate {
+				f := faults.Fault{Kind: faults.GOSPinhole, Device: sh.Device, Res: s.Proc.PinholeRes}
+				return s.markLocal(f, []string{sh.Net}), true
+			}
+		}
+	}
+	return faults.Fault{}, false
+}
+
+// extractJunction handles junction pinholes: the disk must land on a
+// source/drain diffusion region; the leak goes to that device's bulk.
+func (s *Simulator) extractJunction(d geom.Disk) (faults.Fault, bool) {
+	for _, l := range []process.Layer{process.NDiff, process.PDiff} {
+		for _, idx := range s.Cell.QueryDisk(l, d) {
+			sh := s.Cell.Shapes[idx]
+			if sh.Role != layout.SDRegion || sh.Net == sh.Bulk || sh.Bulk == "" {
+				continue
+			}
+			nets := []string{sh.Net, sh.Bulk}
+			sort.Strings(nets)
+			f := faults.Fault{Kind: faults.JunctionPinholeKind, Nets: nets, Res: s.Proc.PinholeRes}
+			return s.markLocal(f, nets), true
+		}
+	}
+	return faults.Fault{}, false
+}
+
+// extractThickOx handles field-oxide pinholes: a metal1 shape shorted to a
+// conductor routed beneath it (or to the substrate when nothing is below).
+func (s *Simulator) extractThickOx(d geom.Disk) (faults.Fault, bool) {
+	for _, mIdx := range s.Cell.QueryDisk(process.Metal1, d) {
+		m := s.Cell.Shapes[mIdx]
+		if m.Net == "" {
+			continue
+		}
+		for _, l := range []process.Layer{process.Poly, process.NDiff, process.PDiff} {
+			for _, uIdx := range s.Cell.QueryDisk(l, d) {
+				u := s.Cell.Shapes[uIdx]
+				if u.Net == "" || u.Net == m.Net || !u.Rect.Intersects(m.Rect) {
+					continue
+				}
+				nets := []string{m.Net, u.Net}
+				sort.Strings(nets)
+				f := faults.Fault{Kind: faults.ThickOxPinhole, Nets: nets, Res: s.Proc.PinholeRes}
+				return s.markLocal(f, nets), true
+			}
+		}
+		// Nothing beneath: leak to the substrate.
+		if m.Net == "vss" {
+			continue
+		}
+		nets := []string{m.Net, "vss"}
+		sort.Strings(nets)
+		f := faults.Fault{Kind: faults.ThickOxPinhole, Nets: nets, Res: s.Proc.PinholeRes}
+		return s.markLocal(f, nets), true
+	}
+	return faults.Fault{}, false
+}
+
+// extractExtraContact handles parasitic vertical contacts: metal1 over
+// poly/diffusion or metal2 over metal1, different nets, overlapping under
+// the disk.
+func (s *Simulator) extractExtraContact(d geom.Disk) (faults.Fault, bool) {
+	pairs := [][2]process.Layer{
+		{process.Metal1, process.Poly},
+		{process.Metal1, process.NDiff},
+		{process.Metal1, process.PDiff},
+		{process.Metal2, process.Metal1},
+	}
+	for _, p := range pairs {
+		for _, aIdx := range s.Cell.QueryDisk(p[0], d) {
+			a := s.Cell.Shapes[aIdx]
+			if a.Net == "" {
+				continue
+			}
+			for _, bIdx := range s.Cell.QueryDisk(p[1], d) {
+				b := s.Cell.Shapes[bIdx]
+				if b.Net == "" || b.Net == a.Net || !a.Rect.Intersects(b.Rect) {
+					continue
+				}
+				nets := []string{a.Net, b.Net}
+				sort.Strings(nets)
+				f := faults.Fault{Kind: faults.ExtraContactKind, Nets: nets, Res: s.Proc.ExtraContactRes}
+				return s.markLocal(f, nets), true
+			}
+		}
+	}
+	return faults.Fault{}, false
+}
+
+// extractNewDevice handles extra poly crossing a diffusion region: a
+// parasitic series transistor at that device terminal, gated by whichever
+// poly net the defect also touches (floating otherwise).
+func (s *Simulator) extractNewDevice(d geom.Disk) (faults.Fault, bool) {
+	for _, l := range []process.Layer{process.NDiff, process.PDiff} {
+		for _, idx := range s.Cell.QueryDisk(l, d) {
+			sh := s.Cell.Shapes[idx]
+			if sh.Role != layout.SDRegion || !d.SpansWidth(sh.Rect) {
+				continue
+			}
+			gate := ""
+			for _, pIdx := range s.Cell.QueryDisk(process.Poly, d) {
+				p := s.Cell.Shapes[pIdx]
+				if p.Net != "" && p.Net != sh.Net {
+					gate = p.Net
+					break
+				}
+			}
+			f := faults.Fault{
+				Kind: faults.NewDevice, Nets: []string{sh.Net},
+				Device:       sh.Device,
+				GateNet:      gate,
+				FarTerminals: []faults.Terminal{{Device: sh.Device, Net: sh.Net}},
+			}
+			return s.markLocal(f, []string{sh.Net, gate}), true
+		}
+	}
+	return faults.Fault{}, false
+}

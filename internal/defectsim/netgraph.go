@@ -1,0 +1,116 @@
+package defectsim
+
+import (
+	"repro/internal/layout"
+	"repro/internal/process"
+)
+
+// netGraph captures the geometric connectivity of a cell: which shapes of
+// a net touch which, including vertical connections through contact/via
+// cuts. The open-fault extractor removes a severed shape and computes the
+// resulting connected components to find the terminals split away.
+type netGraph struct {
+	cell *layout.Cell
+	// adj[i] lists the shape indices connected to shape i.
+	adj map[int][]int
+	// byNet lists shape indices per net (conductors and cuts).
+	byNet map[string][]int
+}
+
+// cutConnects reports which layers a cut kind joins.
+func cutConnects(kind process.Layer) []process.Layer {
+	switch kind {
+	case process.Contact:
+		return []process.Layer{process.Metal1, process.Poly, process.NDiff, process.PDiff}
+	case process.Via:
+		return []process.Layer{process.Metal1, process.Metal2}
+	}
+	return nil
+}
+
+// buildNetGraph constructs the connectivity graph of the cell.
+func buildNetGraph(cell *layout.Cell) *netGraph {
+	g := &netGraph{cell: cell, adj: map[int][]int{}, byNet: map[string][]int{}}
+	for i, s := range cell.Shapes {
+		if s.Net == "" {
+			continue
+		}
+		if s.Layer.Conducting() || s.Role == layout.Cut {
+			g.byNet[s.Net] = append(g.byNet[s.Net], i)
+		}
+	}
+	link := func(a, b int) {
+		g.adj[a] = append(g.adj[a], b)
+		g.adj[b] = append(g.adj[b], a)
+	}
+	for _, ids := range g.byNet {
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				i, j := ids[x], ids[y]
+				si, sj := cell.Shapes[i], cell.Shapes[j]
+				if !si.Rect.Intersects(sj.Rect) {
+					continue
+				}
+				switch {
+				case si.Layer == sj.Layer && si.Layer.Conducting():
+					link(i, j)
+				case si.Role == layout.Cut && layerIn(sj.Layer, cutConnects(si.Layer)):
+					link(i, j)
+				case sj.Role == layout.Cut && layerIn(si.Layer, cutConnects(sj.Layer)):
+					link(i, j)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func layerIn(l process.Layer, ls []process.Layer) bool {
+	for _, x := range ls {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// components returns the connected components of net's shapes with the
+// shape at index `without` removed (pass -1 to keep all).
+func (g *netGraph) components(net string, without int) [][]int {
+	ids := g.byNet[net]
+	seen := map[int]bool{}
+	var comps [][]int
+	for _, start := range ids {
+		if start == without || seen[start] {
+			continue
+		}
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, n)
+			for _, m := range g.adj[n] {
+				if m != without && !seen[m] {
+					seen[m] = true
+					stack = append(stack, m)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// CheckConnectivity returns, per net, the number of connected components
+// of the net's shape graph. A well-formed layout has exactly one component
+// per net; macro layout tests assert this.
+func CheckConnectivity(cell *layout.Cell) map[string]int {
+	g := buildNetGraph(cell)
+	out := map[string]int{}
+	for net := range g.byNet {
+		out[net] = len(g.components(net, -1))
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package defectsim
+
+import (
+	"math"
+
+	"repro/internal/layout"
+	"repro/internal/process"
+)
+
+// VLASIC was first and foremost a yield simulator; the paper repurposes
+// its catastrophic-fault extraction for test generation. This file keeps
+// the yield-estimation capability: from the same sprinkle statistics, the
+// probability that a die with the given macro complement is free of
+// catastrophic faults.
+
+// YieldModel estimates functional yield from sprinkle statistics under a
+// Poisson defect model: each macro contributes a critical area (the
+// effective area in which a defect causes a fault), and the expected
+// fault count per die is density × Σ criticalArea.
+type YieldModel struct {
+	// DefectsPerCm2 is the total spot-defect density.
+	DefectsPerCm2 float64
+	// entries accumulate per-macro critical areas.
+	entries []yieldEntry
+}
+
+type yieldEntry struct {
+	name     string
+	count    int
+	critical float64 // µm² per instance
+}
+
+// NewYieldModel returns a model with the given total defect density
+// (defects/cm², all mechanisms combined).
+func NewYieldModel(defectsPerCm2 float64) *YieldModel {
+	return &YieldModel{DefectsPerCm2: defectsPerCm2}
+}
+
+// AddMacro measures a macro's critical area by Monte Carlo: the fraction
+// of sprinkled defects that cause faults, times the sprinkled area.
+func (y *YieldModel) AddMacro(cell *layout.Cell, proc *process.Process, count, defects int, seed int64) {
+	sim := New(cell, proc)
+	res := sim.Sprinkle(defects, seed)
+	sprinkleArea := cell.Bounds().Expand(1).Area()
+	y.entries = append(y.entries, yieldEntry{
+		name:     cell.Name,
+		count:    count,
+		critical: res.FaultRate() * sprinkleArea,
+	})
+}
+
+// CriticalArea returns the total critical area of the die in µm².
+func (y *YieldModel) CriticalArea() float64 {
+	var a float64
+	for _, e := range y.entries {
+		a += float64(e.count) * e.critical
+	}
+	return a
+}
+
+// Lambda returns the expected catastrophic fault count per die.
+func (y *YieldModel) Lambda() float64 {
+	// density per cm² → per µm²: 1 cm² = 1e8 µm².
+	return y.DefectsPerCm2 / 1e8 * y.CriticalArea()
+}
+
+// Yield returns the Poisson functional yield exp(-λ).
+func (y *YieldModel) Yield() float64 {
+	return math.Exp(-y.Lambda())
+}
+
+// DefectLevel returns the shipped-defect level (DPM) for a test with the
+// given fault coverage (0..1), using the classic Williams–Brown relation
+// DL = 1 − Y^(1−FC). This connects the methodology's coverage numbers to
+// the paper's motivation: escapes of an incomplete test become field
+// failures.
+func (y *YieldModel) DefectLevel(faultCoverage float64) float64 {
+	yd := y.Yield()
+	if yd <= 0 {
+		return 1e6
+	}
+	dl := 1 - math.Pow(yd, 1-faultCoverage)
+	return dl * 1e6 // DPM
+}

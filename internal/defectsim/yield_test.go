@@ -1,0 +1,77 @@
+package defectsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/process"
+)
+
+func yieldCell() *layout.Cell {
+	b := layout.NewBuilder("yc")
+	b.HWire(process.Metal1, "a", 0, 50, 0)
+	b.HWire(process.Metal1, "b", 0, 50, 3)
+	return b.C
+}
+
+func TestYieldModelBasics(t *testing.T) {
+	y := NewYieldModel(100) // 100 defects/cm²
+	y.AddMacro(yieldCell(), process.Default(), 10, 4000, 1)
+	if y.CriticalArea() <= 0 {
+		t.Fatal("critical area must be positive")
+	}
+	l := y.Lambda()
+	if l <= 0 {
+		t.Fatal("lambda must be positive")
+	}
+	yd := y.Yield()
+	if yd <= 0 || yd >= 1 {
+		t.Fatalf("yield = %g", yd)
+	}
+	if math.Abs(yd-math.Exp(-l)) > 1e-12 {
+		t.Fatal("Poisson relation broken")
+	}
+}
+
+func TestYieldMonotoneInDensity(t *testing.T) {
+	lo := NewYieldModel(10)
+	hi := NewYieldModel(1000)
+	for _, y := range []*YieldModel{lo, hi} {
+		y.AddMacro(yieldCell(), process.Default(), 1, 2000, 1)
+	}
+	if lo.Yield() <= hi.Yield() {
+		t.Fatalf("yield must fall with density: %g vs %g", lo.Yield(), hi.Yield())
+	}
+}
+
+func TestDefectLevel(t *testing.T) {
+	y := NewYieldModel(200)
+	y.AddMacro(yieldCell(), process.Default(), 50, 2000, 1)
+	// Perfect coverage ships zero defects.
+	if dl := y.DefectLevel(1.0); dl > 1e-9 {
+		t.Fatalf("DL(100%%) = %g", dl)
+	}
+	// No test at all ships 1-Y.
+	if dl := y.DefectLevel(0); math.Abs(dl-(1-y.Yield())*1e6) > 1 {
+		t.Fatalf("DL(0) = %g", dl)
+	}
+	// Monotone: better coverage, fewer escapes.
+	if y.DefectLevel(0.93) <= y.DefectLevel(0.991) {
+		t.Fatal("DPM must fall with coverage")
+	}
+	// The paper's DfT story in DPM terms: 93.3% vs 99.1% coverage.
+	pre, post := y.DefectLevel(0.933), y.DefectLevel(0.991)
+	if post >= pre {
+		t.Fatalf("DfT must cut the shipped-defect level: %g vs %g DPM", pre, post)
+	}
+}
+
+func TestDefectLevelDegenerateYield(t *testing.T) {
+	y := NewYieldModel(1e12)
+	y.AddMacro(yieldCell(), process.Default(), 1000000, 500, 1)
+	// Yield underflows to ~0: defect level saturates rather than NaN.
+	if dl := y.DefectLevel(0.9); math.IsNaN(dl) {
+		t.Fatal("NaN defect level")
+	}
+}

@@ -1,0 +1,258 @@
+// Package digital is a small gate-level logic simulator with the fault
+// models the decoder macro's defect-oriented analysis needs: stuck-at
+// faults (from opens and supply shorts) and bridging faults between
+// signal nets (from extra-material defects), the latter flagging an IDDQ
+// violation whenever the bridged nets are driven to opposite values — the
+// classic quiescent-current detection mechanism for digital CMOS.
+package digital
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateType enumerates the supported gate functions.
+type GateType int
+
+// Gate functions. Inputs beyond the gate's arity are ignored.
+const (
+	Buf GateType = iota
+	Not
+	And
+	Or
+	Nand
+	Nor
+	Xor
+)
+
+// String implements fmt.Stringer.
+func (g GateType) String() string {
+	switch g {
+	case Buf:
+		return "buf"
+	case Not:
+		return "not"
+	case And:
+		return "and"
+	case Or:
+		return "or"
+	case Nand:
+		return "nand"
+	case Nor:
+		return "nor"
+	case Xor:
+		return "xor"
+	}
+	return fmt.Sprintf("gate(%d)", int(g))
+}
+
+// Gate drives one output net from input nets.
+type Gate struct {
+	Name string
+	Type GateType
+	Out  string
+	In   []string
+}
+
+// eval computes the gate function.
+func (g *Gate) eval(v map[string]bool) bool {
+	switch g.Type {
+	case Buf:
+		return v[g.In[0]]
+	case Not:
+		return !v[g.In[0]]
+	case And, Nand:
+		out := true
+		for _, in := range g.In {
+			out = out && v[in]
+		}
+		if g.Type == Nand {
+			return !out
+		}
+		return out
+	case Or, Nor:
+		out := false
+		for _, in := range g.In {
+			out = out || v[in]
+		}
+		if g.Type == Nor {
+			return !out
+		}
+		return out
+	case Xor:
+		out := false
+		for _, in := range g.In {
+			out = out != v[in]
+		}
+		return out
+	}
+	return false
+}
+
+// FaultKind selects the digital fault model.
+type FaultKind int
+
+const (
+	// FaultNone: fault-free evaluation.
+	FaultNone FaultKind = iota
+	// StuckAt forces net Net to Val.
+	StuckAt
+	// Bridge wire-ANDs nets Net and Net2 and raises the IDDQ flag when
+	// they are driven to opposite values.
+	Bridge
+)
+
+// Fault is a digital fault instance.
+type Fault struct {
+	Kind FaultKind
+	Net  string
+	Net2 string
+	Val  bool
+	// IDDQOnly marks a defect (junction pinhole, parasitic device) that
+	// raises quiescent current without any logic effect.
+	IDDQOnly bool
+}
+
+// Circuit is a feed-forward gate network.
+type Circuit struct {
+	Inputs  []string
+	Outputs []string
+	Gates   []*Gate
+
+	ordered []*Gate
+}
+
+// AddGate appends a gate.
+func (c *Circuit) AddGate(name string, t GateType, out string, in ...string) {
+	c.Gates = append(c.Gates, &Gate{Name: name, Type: t, Out: out, In: in})
+	c.ordered = nil
+}
+
+// Nets returns the sorted names of all nets (inputs and gate outputs).
+func (c *Circuit) Nets() []string {
+	set := map[string]bool{}
+	for _, in := range c.Inputs {
+		set[in] = true
+	}
+	for _, g := range c.Gates {
+		set[g.Out] = true
+		for _, in := range g.In {
+			set[in] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topo orders gates so that every gate follows its drivers. Returns an
+// error on combinational loops (which cannot occur in a well-formed
+// decoder but can be created by severe faults elsewhere).
+func (c *Circuit) topo() error {
+	if c.ordered != nil {
+		return nil
+	}
+	driver := map[string]*Gate{}
+	for _, g := range c.Gates {
+		driver[g.Out] = g
+	}
+	state := map[*Gate]int{} // 0 unseen, 1 visiting, 2 done
+	var order []*Gate
+	var visit func(g *Gate) error
+	visit = func(g *Gate) error {
+		switch state[g] {
+		case 1:
+			return fmt.Errorf("digital: combinational loop at %s", g.Name)
+		case 2:
+			return nil
+		}
+		state[g] = 1
+		for _, in := range g.In {
+			if d, ok := driver[in]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[g] = 2
+		order = append(order, g)
+		return nil
+	}
+	for _, g := range c.Gates {
+		if err := visit(g); err != nil {
+			return err
+		}
+	}
+	c.ordered = order
+	return nil
+}
+
+// Result of one faulty evaluation.
+type Result struct {
+	// Values maps every net to its settled value.
+	Values map[string]bool
+	// IDDQ reports an elevated quiescent current (bridge driven to
+	// opposite values, or an IDDQ-only defect).
+	IDDQ bool
+	// Unstable reports that the bridge created an unresolvable conflict
+	// (values did not settle); outputs are then unreliable.
+	Unstable bool
+}
+
+// Eval computes the circuit response to the given input assignment under
+// fault f (pass Fault{} for fault-free). Bridges are wired-AND and
+// evaluated to a fixpoint.
+func (c *Circuit) Eval(in map[string]bool, f Fault) (*Result, error) {
+	if err := c.topo(); err != nil {
+		return nil, err
+	}
+	v := map[string]bool{}
+	for _, name := range c.Inputs {
+		v[name] = in[name]
+	}
+	res := &Result{}
+	if f.IDDQOnly {
+		res.IDDQ = true
+	}
+	apply := func() {
+		if f.Kind == StuckAt {
+			v[f.Net] = f.Val
+		}
+	}
+	apply()
+	const maxPasses = 4
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, g := range c.ordered {
+			nv := g.eval(v)
+			// Stuck-at overrides gate outputs too.
+			if f.Kind == StuckAt && g.Out == f.Net {
+				nv = f.Val
+			}
+			if old, ok := v[g.Out]; !ok || old != nv {
+				v[g.Out] = nv
+				changed = true
+			}
+		}
+		if f.Kind == Bridge {
+			a, b := v[f.Net], v[f.Net2]
+			if a != b {
+				res.IDDQ = true
+				// Wired-AND resolution.
+				v[f.Net] = a && b
+				v[f.Net2] = a && b
+				changed = true
+			}
+		}
+		if !changed {
+			res.Values = v
+			return res, nil
+		}
+	}
+	res.Values = v
+	res.Unstable = true
+	return res, nil
+}

@@ -1,0 +1,229 @@
+package digital
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// halfAdder builds sum = a xor b, carry = a and b.
+func halfAdder() *Circuit {
+	c := &Circuit{Inputs: []string{"a", "b"}, Outputs: []string{"sum", "carry"}}
+	c.AddGate("g1", Xor, "sum", "a", "b")
+	c.AddGate("g2", And, "carry", "a", "b")
+	return c
+}
+
+func TestGateFunctions(t *testing.T) {
+	cases := []struct {
+		ty   GateType
+		in   []bool
+		want bool
+	}{
+		{Buf, []bool{true}, true},
+		{Not, []bool{true}, false},
+		{And, []bool{true, true}, true},
+		{And, []bool{true, false}, false},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{true, false}, true},
+		{Nand, []bool{true, true}, false},
+		{Nor, []bool{false, false}, true},
+		{Xor, []bool{true, true}, false},
+		{Xor, []bool{true, false}, true},
+	}
+	for _, cse := range cases {
+		c := &Circuit{Inputs: []string{"a", "b"}, Outputs: []string{"o"}}
+		c.AddGate("g", cse.ty, "o", "a", "b")
+		in := map[string]bool{"a": cse.in[0]}
+		if len(cse.in) > 1 {
+			in["b"] = cse.in[1]
+		}
+		res, err := c.Eval(in, Fault{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Values["o"] != cse.want {
+			t.Errorf("%v(%v) = %v, want %v", cse.ty, cse.in, res.Values["o"], cse.want)
+		}
+	}
+	if GateType(99).String() == "" || And.String() != "and" {
+		t.Error("String")
+	}
+}
+
+func TestHalfAdderTruthTable(t *testing.T) {
+	c := halfAdder()
+	for _, tc := range []struct{ a, b, sum, carry bool }{
+		{false, false, false, false},
+		{true, false, true, false},
+		{false, true, true, false},
+		{true, true, false, true},
+	} {
+		res, err := c.Eval(map[string]bool{"a": tc.a, "b": tc.b}, Fault{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Values["sum"] != tc.sum || res.Values["carry"] != tc.carry {
+			t.Errorf("(%v,%v) -> %v,%v", tc.a, tc.b, res.Values["sum"], res.Values["carry"])
+		}
+		if res.IDDQ || res.Unstable {
+			t.Error("fault-free eval must be quiet and stable")
+		}
+	}
+}
+
+func TestTopoOrderIndependent(t *testing.T) {
+	// Gates added out of order must still evaluate correctly.
+	c := &Circuit{Inputs: []string{"a"}, Outputs: []string{"o"}}
+	c.AddGate("g2", Not, "o", "mid") // consumer first
+	c.AddGate("g1", Not, "mid", "a")
+	res, err := c.Eval(map[string]bool{"a": true}, Fault{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["o"] != true {
+		t.Fatal("double inversion")
+	}
+}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	c := &Circuit{Inputs: []string{"a"}, Outputs: []string{"x"}}
+	c.AddGate("g1", Not, "x", "y")
+	c.AddGate("g2", Not, "y", "x")
+	if _, err := c.Eval(map[string]bool{"a": true}, Fault{}); err == nil {
+		t.Fatal("loop must be detected")
+	}
+}
+
+func TestStuckAtInput(t *testing.T) {
+	c := halfAdder()
+	res, err := c.Eval(map[string]bool{"a": true, "b": false},
+		Fault{Kind: StuckAt, Net: "a", Val: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["sum"] != false {
+		t.Fatal("stuck-at-0 on a must force sum low")
+	}
+}
+
+func TestStuckAtOutputNet(t *testing.T) {
+	c := halfAdder()
+	res, err := c.Eval(map[string]bool{"a": true, "b": true},
+		Fault{Kind: StuckAt, Net: "carry", Val: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["carry"] != false {
+		t.Fatal("stuck-at on gate output must hold")
+	}
+}
+
+func TestBridgeIDDQ(t *testing.T) {
+	c := halfAdder()
+	// a=1, b=0: sum=1, carry=0 → bridging sum/carry drives opposite
+	// values → IDDQ flag and wired-AND pulls both low.
+	res, err := c.Eval(map[string]bool{"a": true, "b": false},
+		Fault{Kind: Bridge, Net: "sum", Net2: "carry"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IDDQ {
+		t.Fatal("opposing bridge must raise IDDQ")
+	}
+	if res.Values["sum"] != false || res.Values["carry"] != false {
+		t.Fatal("wired-AND must pull both low")
+	}
+	// a=b=1: sum=0, carry=1 → also opposing.
+	res2, _ := c.Eval(map[string]bool{"a": true, "b": true},
+		Fault{Kind: Bridge, Net: "sum", Net2: "carry"})
+	if !res2.IDDQ {
+		t.Fatal("opposing values second case")
+	}
+	// a=b=0: sum=0, carry=0 → agreeing: no IDDQ, no logic change.
+	res3, _ := c.Eval(map[string]bool{"a": false, "b": false},
+		Fault{Kind: Bridge, Net: "sum", Net2: "carry"})
+	if res3.IDDQ {
+		t.Fatal("agreeing bridge must be quiet")
+	}
+}
+
+func TestBridgeFeedbackUnstable(t *testing.T) {
+	// Bridging a net to its own inversion cannot settle.
+	c := &Circuit{Inputs: []string{"a"}, Outputs: []string{"o"}}
+	c.AddGate("g1", Not, "o", "a")
+	res, err := c.Eval(map[string]bool{"a": true},
+		Fault{Kind: Bridge, Net: "a", Net2: "o"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a=1 → o=0 → bridge pulls a to 0 → o=1 → conflict again.
+	if !res.IDDQ {
+		t.Fatal("oscillating bridge must raise IDDQ")
+	}
+	_ = res.Unstable // oscillation may or may not settle via wired-AND; IDDQ is the guarantee
+}
+
+func TestIDDQOnlyFault(t *testing.T) {
+	c := halfAdder()
+	res, err := c.Eval(map[string]bool{"a": true, "b": true}, Fault{IDDQOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IDDQ {
+		t.Fatal("IDDQ-only fault must flag")
+	}
+	if res.Values["sum"] != false || res.Values["carry"] != true {
+		t.Fatal("IDDQ-only fault must not change logic")
+	}
+}
+
+func TestNets(t *testing.T) {
+	c := halfAdder()
+	nets := c.Nets()
+	want := []string{"a", "b", "carry", "sum"}
+	if len(nets) != len(want) {
+		t.Fatalf("Nets = %v", nets)
+	}
+	for i := range want {
+		if nets[i] != want[i] {
+			t.Fatalf("Nets = %v", nets)
+		}
+	}
+}
+
+// Property: for a chain of inverters, output parity matches chain length,
+// and a stuck-at anywhere forces a computable value.
+func TestQuickInverterChain(t *testing.T) {
+	f := func(nRaw uint8, in bool, stuckPos uint8, stuckVal bool) bool {
+		n := int(nRaw%10) + 1
+		c := &Circuit{Inputs: []string{netN(0)}, Outputs: []string{netN(n)}}
+		for i := 0; i < n; i++ {
+			c.AddGate(netN(i+1)+"g", Not, netN(i+1), netN(i))
+		}
+		res, err := c.Eval(map[string]bool{netN(0): in}, Fault{})
+		if err != nil {
+			return false
+		}
+		want := in != (n%2 == 1)
+		if res.Values[netN(n)] != want {
+			return false
+		}
+		// Stuck-at at position p: downstream value determined by parity
+		// from there.
+		p := int(stuckPos) % (n + 1)
+		res2, err := c.Eval(map[string]bool{netN(0): in},
+			Fault{Kind: StuckAt, Net: netN(p), Val: stuckVal})
+		if err != nil {
+			return false
+		}
+		want2 := stuckVal != ((n-p)%2 == 1)
+		return res2.Values[netN(n)] == want2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func netN(i int) string {
+	return "n" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

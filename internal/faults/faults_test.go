@@ -1,0 +1,359 @@
+package faults
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+	"repro/internal/process"
+	"repro/internal/spice"
+)
+
+func TestKeyCanonical(t *testing.T) {
+	a := Fault{Kind: Short, Nets: []string{"x", "y"}}
+	b := Fault{Kind: Short, Nets: []string{"y", "x"}}
+	if a.Key() != b.Key() {
+		t.Fatal("net order must not matter")
+	}
+	c := Fault{Kind: Short, Nets: []string{"x", "z"}}
+	if a.Key() == c.Key() {
+		t.Fatal("different nets must differ")
+	}
+	d := Fault{Kind: Open, Nets: []string{"x", "y"}}
+	if a.Key() == d.Key() {
+		t.Fatal("kind must distinguish")
+	}
+	o1 := Fault{Kind: Open, Nets: []string{"n"}, FarTerminals: []Terminal{{"m1", "n"}, {"m2", "n"}}}
+	o2 := Fault{Kind: Open, Nets: []string{"n"}, FarTerminals: []Terminal{{"m2", "n"}, {"m1", "n"}}}
+	if o1.Key() != o2.Key() {
+		t.Fatal("terminal order must not matter")
+	}
+}
+
+func TestCollapse(t *testing.T) {
+	fs := []Fault{
+		{Kind: Short, Nets: []string{"a", "b"}},
+		{Kind: Short, Nets: []string{"b", "a"}},
+		{Kind: Short, Nets: []string{"a", "c"}},
+		{Kind: ShortedDevice, Device: "m1"},
+	}
+	cs := Collapse(fs)
+	if len(cs) != 3 {
+		t.Fatalf("classes = %d, want 3", len(cs))
+	}
+	// Largest class first.
+	if cs[0].Count != 2 || cs[0].Fault.Nets[0] != "a" || cs[0].Fault.Nets[1] != "b" {
+		t.Fatalf("first class = %+v", cs[0])
+	}
+	total := 0
+	for _, c := range cs {
+		total += c.Count
+	}
+	if total != len(fs) {
+		t.Fatalf("counts sum %d != %d", total, len(fs))
+	}
+}
+
+// Property: Collapse preserves total count and is idempotent in class set.
+func TestQuickCollapseConservation(t *testing.T) {
+	kinds := []Kind{Short, Open, ShortedDevice, GOSPinhole}
+	f := func(picks []uint8) bool {
+		var fs []Fault
+		for _, p := range picks {
+			k := kinds[int(p)%len(kinds)]
+			nets := []string{string(rune('a' + p%5)), string(rune('a' + (p/5)%5))}
+			if nets[0] == nets[1] {
+				nets[1] += "x"
+			}
+			flt := Fault{Kind: k, Nets: nets}
+			if k == Open {
+				flt.Nets = nets[:1]
+				flt.FarTerminals = []Terminal{{"m" + nets[0], nets[0]}}
+			}
+			if k == ShortedDevice || k == GOSPinhole {
+				flt.Nets = nil
+				flt.Device = "m" + nets[0]
+			}
+			fs = append(fs, flt)
+		}
+		cs := Collapse(fs)
+		total := 0
+		seen := map[string]bool{}
+		for _, c := range cs {
+			total += c.Count
+			k := c.Fault.Key()
+			if seen[k] {
+				return false // duplicate class
+			}
+			seen[k] = true
+		}
+		if total != len(fs) {
+			return false
+		}
+		// Sorted by descending count.
+		return sort.SliceIsSorted(cs, func(i, j int) bool {
+			if cs[i].Count != cs[j].Count {
+				return cs[i].Count > cs[j].Count
+			}
+			return cs[i].Fault.Key() < cs[j].Fault.Key()
+		})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountHelpers(t *testing.T) {
+	fs := []Fault{
+		{Kind: Short, Nets: []string{"a", "b"}},
+		{Kind: Short, Nets: []string{"a", "b"}},
+		{Kind: Open, Nets: []string{"c"}, FarTerminals: []Terminal{{"m", "c"}}},
+	}
+	byKind := CountByKind(fs)
+	if byKind[Short] != 2 || byKind[Open] != 1 {
+		t.Fatalf("CountByKind = %v", byKind)
+	}
+	cbk := ClassesByKind(Collapse(fs))
+	if cbk[Short] != 1 || cbk[Open] != 1 {
+		t.Fatalf("ClassesByKind = %v", cbk)
+	}
+}
+
+func TestNonCatEligible(t *testing.T) {
+	if !(Fault{Kind: Short}).NonCatEligible() || !(Fault{Kind: ExtraContactKind}).NonCatEligible() {
+		t.Fatal("shorts and extra contacts evolve non-cat variants")
+	}
+	for _, k := range []Kind{GOSPinhole, JunctionPinholeKind, ThickOxPinhole, Open, NewDevice, ShortedDevice} {
+		if (Fault{Kind: k}).NonCatEligible() {
+			t.Fatalf("%v must not be non-cat eligible (already high-ohmic)", k)
+		}
+	}
+}
+
+func divider() *netlist.Builder {
+	b := netlist.NewBuilder()
+	b.Vsrc("vdd", "vdd", "0", netlist.DC(5))
+	b.R("r1", "vdd", "mid", 1000)
+	b.R("r2", "mid", "0", 1000)
+	return b
+}
+
+func solveOP(t *testing.T, b *netlist.Builder) *spice.Solution {
+	t.Helper()
+	sol, err := spice.New(b.C, spice.DefaultOptions()).OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestInjectShort(t *testing.T) {
+	proc := process.Default()
+	b := divider()
+	f := Fault{Kind: Short, Nets: []string{"mid", "vss"}, Res: 0.2}
+	if err := Inject(b.C, f, proc, InjectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOP(t, b)
+	if v := sol.V("mid"); v > 0.01 {
+		t.Fatalf("shorted mid = %g", v)
+	}
+	// vss resolves to ground.
+	if _, ok := b.C.NodeByName("vss"); ok {
+		t.Fatal("vss must have resolved to node 0, not created a new node")
+	}
+}
+
+func TestInjectShortNonCat(t *testing.T) {
+	proc := process.Default()
+	b := divider()
+	f := Fault{Kind: Short, Nets: []string{"mid", "vss"}, Res: 0.2}
+	if err := Inject(b.C, f, proc, InjectOptions{NonCat: true}); err != nil {
+		t.Fatal(err)
+	}
+	// 500 Ω to ground: mid = 5 * (500||1000)/(1000 + 500||1000) = 1.25
+	sol := solveOP(t, b)
+	if v := sol.V("mid"); math.Abs(v-1.25) > 1e-3 {
+		t.Fatalf("non-cat mid = %g, want 1.25", v)
+	}
+	if b.C.Element("flt.0.c") == nil {
+		t.Fatal("non-cat model must include the 1 fF capacitor")
+	}
+}
+
+func TestInjectMultiNetShort(t *testing.T) {
+	proc := process.Default()
+	b := divider()
+	b.R("r3", "mid", "other", 1000)
+	f := Fault{Kind: Short, Nets: []string{"mid", "other", "vdd"}, Res: 1}
+	if err := Inject(b.C, f, proc, InjectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOP(t, b)
+	if d := sol.V("mid") - sol.V("other"); math.Abs(d) > 0.02 {
+		t.Fatalf("star short should equalise: d = %g", d)
+	}
+	if sol.V("mid") < 4.5 {
+		t.Fatalf("mid should be pulled to vdd, got %g", sol.V("mid"))
+	}
+}
+
+func TestInjectGOSVariants(t *testing.T) {
+	proc := process.Default()
+	for _, variant := range []GOSVariant{GOSToSource, GOSToDrain, GOSToChannel} {
+		b := netlist.NewBuilder()
+		b.Vsrc("vdd", "vdd", "0", netlist.DC(5))
+		b.Vsrc("vg", "g", "0", netlist.DC(0))
+		b.R("rl", "vdd", "d", 10e3)
+		b.NMOS("m1", "d", "g", "0", 10, 1)
+		f := Fault{Kind: GOSPinhole, Device: "m1"}
+		if err := Inject(b.C, f, proc, InjectOptions{GOS: variant}); err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		sol := solveOP(t, b)
+		// With gate driven to 0 through the pinhole path, some current
+		// flows from the gate source; with GOSToDrain the drain is
+		// dragged toward the 0 V gate.
+		if variant == GOSToDrain {
+			if v := sol.V("d"); v > 1.0 {
+				t.Fatalf("GOS-to-drain: d = %g, want pulled down", v)
+			}
+		}
+	}
+	// Unknown device errors.
+	b := divider()
+	if err := Inject(b.C, Fault{Kind: GOSPinhole, Device: "zz"}, proc, InjectOptions{}); err == nil {
+		t.Fatal("expected error for unknown device")
+	}
+}
+
+func TestInjectShortedDevice(t *testing.T) {
+	proc := process.Default()
+	b := netlist.NewBuilder()
+	b.Vsrc("vdd", "vdd", "0", netlist.DC(5))
+	b.Vsrc("vg", "g", "0", netlist.DC(0)) // device off
+	b.R("rl", "vdd", "d", 10e3)
+	b.NMOS("m1", "d", "g", "0", 10, 1)
+	pre := solveOP(t, b)
+	if v := pre.V("d"); v < 4.9 {
+		t.Fatalf("pre-fault d = %g", v)
+	}
+	if err := Inject(b.C, Fault{Kind: ShortedDevice, Device: "m1"}, proc, InjectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	post := solveOP(t, b)
+	if v := post.V("d"); v > 0.1 {
+		t.Fatalf("shorted device d = %g, want ~0", v)
+	}
+}
+
+func TestInjectOpen(t *testing.T) {
+	proc := process.Default()
+	b := divider()
+	f := Fault{
+		Kind: Open, Nets: []string{"mid"},
+		FarTerminals: []Terminal{{Device: "r2", Net: "mid"}},
+	}
+	if err := Inject(b.C, f, proc, InjectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOP(t, b)
+	// r2 disconnected: mid floats to vdd through r1.
+	if v := sol.V("mid"); v < 4.99 {
+		t.Fatalf("open mid = %g, want ~5", v)
+	}
+	if v := sol.V("mid#split"); v > 0.01 {
+		t.Fatalf("split side = %g, want ~0", v)
+	}
+}
+
+func TestInjectOpenErrors(t *testing.T) {
+	proc := process.Default()
+	b := divider()
+	if err := Inject(b.C, Fault{Kind: Open, Nets: []string{"mid"}}, proc, InjectOptions{}); err == nil {
+		t.Fatal("open without terminals must error")
+	}
+	if err := Inject(b.C, Fault{Kind: Open, Nets: []string{"mid"},
+		FarTerminals: []Terminal{{Device: "zz", Net: "mid"}}}, proc, InjectOptions{}); err == nil {
+		t.Fatal("open on unknown element must error")
+	}
+	if err := Inject(b.C, Fault{Kind: Open, Nets: []string{"mid"},
+		FarTerminals: []Terminal{{Device: "r1", Net: "nothere"}}}, proc, InjectOptions{}); err == nil {
+		t.Fatal("open on unknown net must error")
+	}
+}
+
+func TestInjectNewDevice(t *testing.T) {
+	proc := process.Default()
+	b := divider()
+	f := Fault{
+		Kind: NewDevice, Nets: []string{"mid"}, GateNet: "vdd",
+		FarTerminals: []Terminal{{Device: "r2", Net: "mid"}},
+	}
+	if err := Inject(b.C, f, proc, InjectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOP(t, b)
+	// The parasitic NMOS with gate at 5 V conducts: divider partially
+	// restored but with extra drop; mid sits between 2.5 and 5.
+	v := sol.V("mid")
+	if v <= 2.5 || v >= 5.0 {
+		t.Fatalf("new-device mid = %g", v)
+	}
+	// Floating-gate variant: device off, behaves like the open.
+	b2 := divider()
+	f.GateNet = ""
+	if err := Inject(b2.C, f, proc, InjectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sol2 := solveOP(t, b2)
+	if v := sol2.V("mid"); v < 4.9 {
+		t.Fatalf("floating-gate new device mid = %g, want ~5", v)
+	}
+}
+
+func TestInjectJunctionAndThickOx(t *testing.T) {
+	proc := process.Default()
+	b := divider()
+	f := Fault{Kind: JunctionPinholeKind, Nets: []string{"mid", "vss"}}
+	if err := Inject(b.C, f, proc, InjectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOP(t, b)
+	// 2 kΩ to ground from mid: v = 5 * (2k||1k)/(1k + 2k||1k) = 2
+	if v := sol.V("mid"); math.Abs(v-2.0) > 1e-3 {
+		t.Fatalf("junction pinhole mid = %g, want 2.0", v)
+	}
+}
+
+func TestInjectSameNodeShortIsNoop(t *testing.T) {
+	proc := process.Default()
+	b := divider()
+	n := len(b.C.Elems)
+	f := Fault{Kind: Short, Nets: []string{"mid", "mid"}, Res: 1}
+	if err := Inject(b.C, f, proc, InjectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.C.Elems) != n {
+		t.Fatal("short between identical nodes must not add elements")
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	cases := []Fault{
+		{Kind: Short, Nets: []string{"a", "b"}},
+		{Kind: Open, Nets: []string{"n"}, FarTerminals: []Terminal{{"m", "n"}}},
+		{Kind: GOSPinhole, Device: "m3"},
+		{Kind: NewDevice, Nets: []string{"d"}, GateNet: "g"},
+	}
+	for _, f := range cases {
+		if f.String() == "" {
+			t.Fatalf("empty String for %v", f.Kind)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind")
+	}
+}

@@ -1,0 +1,194 @@
+// Package geom provides the 2-D geometric primitives used by the layout
+// model and the defect simulator: axis-aligned rectangles, disks (spot
+// defects are modelled as circular regions of extra or missing material),
+// and the intersection predicates between them.
+//
+// All coordinates are in layout database units; the process description
+// (internal/process) defines the physical size of one unit. Using integer
+// nanometre-like units keeps geometry exact; disks use float64 radii since
+// defect diameters are drawn from a continuous distribution.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in layout coordinates.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Rect is an axis-aligned rectangle. The representation is canonical:
+// X0 <= X1 and Y0 <= Y1. A degenerate rectangle (zero width or height) is
+// permitted and has zero area.
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// NewRect returns the canonical rectangle spanning the two corner points in
+// any order.
+func NewRect(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{x0, y0, x1, y1}
+}
+
+// W returns the width of r.
+func (r Rect) W() float64 { return r.X1 - r.X0 }
+
+// H returns the height of r.
+func (r Rect) H() float64 { return r.Y1 - r.Y0 }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Center returns the centre point of r.
+func (r Rect) Center() Point { return Point{(r.X0 + r.X1) / 2, (r.Y0 + r.Y1) / 2} }
+
+// Empty reports whether r has zero area.
+func (r Rect) Empty() bool { return r.X0 >= r.X1 || r.Y0 >= r.Y1 }
+
+// Valid reports whether r is canonical (X0<=X1, Y0<=Y1).
+func (r Rect) Valid() bool { return r.X0 <= r.X1 && r.Y0 <= r.Y1 }
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X0 && p.X <= r.X1 && p.Y >= r.Y0 && p.Y <= r.Y1
+}
+
+// ContainsRect reports whether s lies entirely within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.X0 >= r.X0 && s.X1 <= r.X1 && s.Y0 >= r.Y0 && s.Y1 <= r.Y1
+}
+
+// Intersects reports whether r and s share any point (touching edges count).
+func (r Rect) Intersects(s Rect) bool {
+	return r.X0 <= s.X1 && s.X0 <= r.X1 && r.Y0 <= s.Y1 && s.Y0 <= r.Y1
+}
+
+// Intersect returns the overlapping region of r and s. If they do not
+// overlap the result is the zero Rect and ok is false.
+func (r Rect) Intersect(s Rect) (Rect, bool) {
+	out := Rect{
+		X0: math.Max(r.X0, s.X0),
+		Y0: math.Max(r.Y0, s.Y0),
+		X1: math.Min(r.X1, s.X1),
+		Y1: math.Min(r.Y1, s.Y1),
+	}
+	if out.X0 > out.X1 || out.Y0 > out.Y1 {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// Union returns the bounding box of r and s. Union with an empty canonical
+// zero Rect returns the other operand unchanged only if the zero rect is
+// marked by IsZero; callers accumulating bounds should start from the first
+// element instead.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		X0: math.Min(r.X0, s.X0),
+		Y0: math.Min(r.Y0, s.Y0),
+		X1: math.Max(r.X1, s.X1),
+		Y1: math.Max(r.Y1, s.Y1),
+	}
+}
+
+// Expand returns r grown by d on every side (shrunk for negative d). The
+// result is clipped to canonical form: over-shrinking yields a degenerate
+// rectangle at the centre.
+func (r Rect) Expand(d float64) Rect {
+	out := Rect{r.X0 - d, r.Y0 - d, r.X1 + d, r.Y1 + d}
+	c := r.Center()
+	if out.X0 > out.X1 {
+		out.X0, out.X1 = c.X, c.X
+	}
+	if out.Y0 > out.Y1 {
+		out.Y0, out.Y1 = c.Y, c.Y
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g,%g %g,%g]", r.X0, r.Y0, r.X1, r.Y1)
+}
+
+// Disk is a circular region, the shape of a spot defect.
+type Disk struct {
+	C Point
+	R float64
+}
+
+// Area returns the area of d.
+func (d Disk) Area() float64 { return math.Pi * d.R * d.R }
+
+// Bounds returns the bounding box of d.
+func (d Disk) Bounds() Rect {
+	return Rect{d.C.X - d.R, d.C.Y - d.R, d.C.X + d.R, d.C.Y + d.R}
+}
+
+// IntersectsRect reports whether the disk and rectangle share any point.
+func (d Disk) IntersectsRect(r Rect) bool {
+	// Distance from centre to the rectangle.
+	dx := math.Max(math.Max(r.X0-d.C.X, 0), d.C.X-r.X1)
+	dy := math.Max(math.Max(r.Y0-d.C.Y, 0), d.C.Y-r.Y1)
+	return dx*dx+dy*dy <= d.R*d.R
+}
+
+// ContainsPoint reports whether p lies inside or on the disk boundary.
+func (d Disk) ContainsPoint(p Point) bool {
+	return d.C.Dist(p) <= d.R
+}
+
+// ContainsRect reports whether the entire rectangle lies within the disk.
+func (d Disk) ContainsRect(r Rect) bool {
+	return d.ContainsPoint(Point{r.X0, r.Y0}) &&
+		d.ContainsPoint(Point{r.X0, r.Y1}) &&
+		d.ContainsPoint(Point{r.X1, r.Y0}) &&
+		d.ContainsPoint(Point{r.X1, r.Y1})
+}
+
+// SpansWidth reports whether the disk completely crosses the rectangle in
+// its narrow direction, i.e. whether a missing-material defect of this shape
+// would sever a wire segment represented by r. For a horizontal wire
+// (W >= H) the disk must cover a full vertical cut; for a vertical wire a
+// full horizontal cut.
+func (d Disk) SpansWidth(r Rect) bool {
+	if !d.IntersectsRect(r) {
+		return false
+	}
+	if r.W() >= r.H() {
+		// Horizontal wire: need a chord of the disk covering [Y0,Y1]
+		// at some x within [X0,X1]. The widest vertical extent is at
+		// x = C.X; check the disk covers the wire's full height there
+		// and that C.X (clamped) is within the segment.
+		x := math.Min(math.Max(d.C.X, r.X0), r.X1)
+		dx := d.C.X - x
+		if d.R*d.R < dx*dx {
+			return false
+		}
+		half := math.Sqrt(d.R*d.R - dx*dx)
+		return d.C.Y-half <= r.Y0 && d.C.Y+half >= r.Y1
+	}
+	y := math.Min(math.Max(d.C.Y, r.Y0), r.Y1)
+	dy := d.C.Y - y
+	if d.R*d.R < dy*dy {
+		return false
+	}
+	half := math.Sqrt(d.R*d.R - dy*dy)
+	return d.C.X-half <= r.X0 && d.C.X+half >= r.X1
+}

@@ -1,0 +1,129 @@
+package geom
+
+// Index is a uniform-grid spatial index over rectangles. The defect
+// simulator performs millions of disk-vs-shape queries; a grid keeps each
+// query local. Values are opaque int handles supplied by the caller
+// (typically indices into a shape table).
+type Index struct {
+	bounds Rect
+	nx, ny int
+	cellW  float64
+	cellH  float64
+	cells  [][]int
+	rects  []Rect
+}
+
+// NewIndex creates a grid index covering bounds with approximately
+// targetCells cells. targetCells below 1 is treated as 1.
+func NewIndex(bounds Rect, targetCells int) *Index {
+	if targetCells < 1 {
+		targetCells = 1
+	}
+	w, h := bounds.W(), bounds.H()
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	aspect := w / h
+	ny := 1
+	for ny*ny < int(float64(targetCells)/aspect) {
+		ny++
+	}
+	nx := targetCells / ny
+	if nx < 1 {
+		nx = 1
+	}
+	return &Index{
+		bounds: bounds,
+		nx:     nx,
+		ny:     ny,
+		cellW:  w / float64(nx),
+		cellH:  h / float64(ny),
+		cells:  make([][]int, nx*ny),
+	}
+}
+
+// Len returns the number of rectangles inserted.
+func (ix *Index) Len() int { return len(ix.rects) }
+
+// Rect returns the rectangle stored under handle id.
+func (ix *Index) Rect(id int) Rect { return ix.rects[id] }
+
+func (ix *Index) cellRange(r Rect) (cx0, cy0, cx1, cy1 int) {
+	cx0 = int((r.X0 - ix.bounds.X0) / ix.cellW)
+	cy0 = int((r.Y0 - ix.bounds.Y0) / ix.cellH)
+	cx1 = int((r.X1 - ix.bounds.X0) / ix.cellW)
+	cy1 = int((r.Y1 - ix.bounds.Y0) / ix.cellH)
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	cx0, cx1 = clamp(cx0, ix.nx-1), clamp(cx1, ix.nx-1)
+	cy0, cy1 = clamp(cy0, ix.ny-1), clamp(cy1, ix.ny-1)
+	return
+}
+
+// Insert adds r to the index and returns its handle.
+func (ix *Index) Insert(r Rect) int {
+	id := len(ix.rects)
+	ix.rects = append(ix.rects, r)
+	cx0, cy0, cx1, cy1 := ix.cellRange(r)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			c := cy*ix.nx + cx
+			ix.cells[c] = append(ix.cells[c], id)
+		}
+	}
+	return id
+}
+
+// QueryRect calls fn for every stored rectangle whose bounding box
+// intersects r. Handles may be reported once per overlapping grid cell; fn
+// must tolerate duplicates or the caller should use QueryRectUnique.
+func (ix *Index) QueryRect(r Rect, fn func(id int)) {
+	cx0, cy0, cx1, cy1 := ix.cellRange(r)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, id := range ix.cells[cy*ix.nx+cx] {
+				if ix.rects[id].Intersects(r) {
+					fn(id)
+				}
+			}
+		}
+	}
+}
+
+// QueryRectUnique returns the deduplicated handles of all rectangles
+// intersecting r.
+func (ix *Index) QueryRectUnique(r Rect) []int {
+	var out []int
+	seen := map[int]bool{}
+	ix.QueryRect(r, func(id int) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	})
+	return out
+}
+
+// QueryDisk returns the deduplicated handles of all rectangles that
+// actually intersect the disk (not merely its bounding box).
+func (ix *Index) QueryDisk(d Disk) []int {
+	var out []int
+	seen := map[int]bool{}
+	ix.QueryRect(d.Bounds(), func(id int) {
+		if !seen[id] && d.IntersectsRect(ix.rects[id]) {
+			seen[id] = true
+			out = append(out, id)
+		}
+	})
+	return out
+}

@@ -1,0 +1,80 @@
+package macros
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func TestAmplifierACNominal(t *testing.T) {
+	m := NewComparator()
+	res, err := m.AmplifierAC(nil, RespondOpts{Var: Nominal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The diff pair with diode-clamped loads has moderate gain (> 6 dB)
+	// and a bandwidth well inside the sweep.
+	if res.GainDB < 6 || res.GainDB > 60 {
+		t.Fatalf("gain = %.1f dB", res.GainDB)
+	}
+	if res.Bandwidth3dB <= 1e3 || res.Bandwidth3dB >= 1e9 {
+		t.Fatalf("bandwidth = %g Hz", res.Bandwidth3dB)
+	}
+}
+
+func TestAmplifierACClockValueFaultDeviates(t *testing.T) {
+	m := NewComparatorWithRef(2.0)
+	nom, err := m.AmplifierAC(nil, RespondOpts{Var: Nominal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A high-ohmic (non-catastrophic) defect loading clk1 sags the
+	// switch gate drive: the tracking bandwidth drops — the paper's
+	// observation that clock-value faults disturb the high-frequency
+	// behaviour, invisible to the simple DC tests.
+	// 800 Ω keeps the switch conducting (the DC behaviour stays clean)
+	// while the sagged gate drive cuts the tracking bandwidth by ~40 %.
+	f := &faults.Fault{Kind: faults.ThickOxPinhole, Nets: []string{"clk1", "vss"}, Res: 800}
+	faulty, err := m.AmplifierAC(f, RespondOpts{Var: Nominal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ACDeviates(nom, faulty, 1.0, 0.3) {
+		t.Fatalf("clock fault AC: nom=%.1fdB/%.3g faulty=%.1fdB/%.3g",
+			nom.GainDB, nom.Bandwidth3dB, faulty.GainDB, faulty.Bandwidth3dB)
+	}
+}
+
+func TestACDeviatesPredicate(t *testing.T) {
+	nom := &ACResult{GainDB: 20, Bandwidth3dB: 1e7}
+	if ACDeviates(nom, &ACResult{GainDB: 20.5, Bandwidth3dB: 1.1e7}, 1, 0.3) {
+		t.Fatal("within tolerance must not deviate")
+	}
+	if !ACDeviates(nom, &ACResult{GainDB: 15, Bandwidth3dB: 1e7}, 1, 0.3) {
+		t.Fatal("gain loss must deviate")
+	}
+	if !ACDeviates(nom, &ACResult{GainDB: 20, Bandwidth3dB: 2e6}, 1, 0.3) {
+		t.Fatal("bandwidth collapse must deviate")
+	}
+	if !ACDeviates(nom, &ACResult{GainDB: 20, Bandwidth3dB: 5e7}, 1, 0.3) {
+		t.Fatal("bandwidth explosion must deviate")
+	}
+}
+
+func TestAmplifierACGainFaultVisible(t *testing.T) {
+	m := NewComparator()
+	nom, err := m.AmplifierAC(nil, RespondOpts{Var: Nominal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shorting one load diode kills half the gain path asymmetrically.
+	f := &faults.Fault{Kind: faults.ShortedDevice, Device: "m3"}
+	faulty, err := m.AmplifierAC(f, RespondOpts{Var: Nominal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nom.GainDB-faulty.GainDB) < 1 {
+		t.Fatalf("load fault must change the gain: %.1f vs %.1f dB", nom.GainDB, faulty.GainDB)
+	}
+}

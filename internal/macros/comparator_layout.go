@@ -1,0 +1,115 @@
+package macros
+
+import (
+	"repro/internal/layout"
+)
+
+// comparatorLayout builds the comparator slice's mask layout. The shared
+// distribution lines (three clocks, four bias lines, vin, vref, supplies,
+// the slice output) run vertically in metal2 through the right-hand side
+// of the cell — faults on them are cross-macro faults. The dft flag
+// re-orders the bias lines so that physically adjacent lines no longer
+// carry nearly identical voltages (the paper's second DfT measure).
+func comparatorLayout(dft bool) *layout.Cell {
+	b := layout.NewBuilder("comparator")
+	b.DefaultWidth = 1.2
+
+	devs := []devPlace{
+		// Row 1 (y=20): switches, tail, latch enable, output NMOS.
+		{name: "msw1", d: "inp", g: "clk1", s: "vin", x: 6, y: 20},
+		{name: "msw2", d: "inn", g: "clk1", s: "vref", x: 16, y: 20},
+		{name: "m5", d: "tail", g: "vbn1", s: "vss", x: 26, y: 20},
+		{name: "m5b", d: "tail", g: "vbn2", s: "vss", x: 66, y: 20},
+		{name: "m8", d: "ltail", g: "clk3", s: "vss", x: 36, y: 20},
+		{name: "mon", d: "out", g: "q", s: "vss", x: 56, y: 20},
+		// Row 2 (y=32): differential pair, latch pair, transfer gates.
+		{name: "m1", d: "o1", g: "inp", s: "tail", x: 8, y: 32},
+		{name: "m2", d: "o2", g: "inn", s: "tail", x: 20, y: 32},
+		{name: "m6", d: "o1", g: "o2", s: "ltail", x: 32, y: 32},
+		{name: "m7", d: "o2", g: "o1", s: "ltail", x: 42, y: 32},
+		{name: "mt1", d: "q", g: "clk3", s: "o1", x: 52, y: 32},
+		{name: "mt2", d: "qb", g: "clk3", s: "o2", x: 60, y: 32},
+		// Row 3 (y=44): flipflop NMOS.
+		{name: "mfn1", d: "qb", g: "q", s: "vss", x: 10, y: 44},
+		{name: "mfn2", d: "q", g: "qb", s: "vss", x: 20, y: 44},
+		// PMOS row (y=56): loads, flipflop PMOS, output PMOS.
+		{name: "m3", d: "o1", g: "vbp1", s: "vdda", x: 8, y: 56, pmos: true},
+		{name: "m4", d: "o2", g: "vbp1", s: "vdda", x: 20, y: 56, pmos: true},
+		{name: "m3d", d: "o1", g: "o1", s: "vdda", x: 14, y: 56, pmos: true},
+		{name: "m4d", d: "o2", g: "o2", s: "vdda", x: 26, y: 56, pmos: true},
+		{name: "mfp1", d: "qb", g: "q", s: "vdda", x: 32, y: 56, pmos: true},
+		{name: "mfp2", d: "q", g: "qb", s: "vdda", x: 42, y: 56, pmos: true},
+		{name: "mop", d: "out", g: "q", s: "vdda", x: 52, y: 56, pmos: true},
+		{name: "m3b", d: "o1", g: "vbp2", s: "vdda", x: 58, y: 56, pmos: true},
+		{name: "m4b", d: "o2", g: "vbp2", s: "vdda", x: 64, y: 56, pmos: true},
+	}
+	if !dft {
+		// The original flipflop has a leakage path; the DfT-1 redesign
+		// removes the structure (and its layout shapes) entirely.
+		devs = append(devs, devPlace{name: "mleak", d: "lk", g: "clk1", s: "vss", x: 46, y: 20})
+	}
+	terms := placeDevices(b, devs, "vdda")
+
+	// Sampling capacitors (top plate = sampled node, bottom plate = vss).
+	t1, b1 := platedCap(b, "inp", "vss", 44, 70, 54, 76)
+	t2, b2 := platedCap(b, "inn", "vss", 44, 79, 54, 85)
+	terms = append(terms, t1, b1, t2, b2)
+
+	if !dft {
+		// The flipflop leakage resistor (poly) between vdda and lk.
+		// The resistor body is poly, so its terminals need contact cuts
+		// (gate=true marks poly terminals for routeNets).
+		b.Resistor("rleak", "vdda", "lk", 34, 14, 10, 1.5)
+		terms = append(terms,
+			terminal{net: "vdda", x: 34.5, y: 14, gate: true},
+			terminal{net: "lk", x: 43.5, y: 14, gate: true},
+		)
+	}
+
+	// Routing channels (metal1 trunks).
+	trunkY := map[string]float64{
+		"vss":   11,
+		"out":   14.5,
+		"lk":    17,
+		"vin":   23,
+		"inp":   25,
+		"inn":   26.5,
+		"vref":  28.5,
+		"tail":  30,
+		"clk1":  38,
+		"clk2":  39.5,
+		"clk3":  41,
+		"o1":    46,
+		"o2":    47.5,
+		"ltail": 49,
+		"q":     51,
+		"qb":    52.5,
+		"vdda":  63,
+		"vbn1":  66,
+		"vbp1":  68,
+		"vbn2":  70,
+		"vbp2":  72,
+	}
+
+	// Vertical metal2 distribution lines; the bias group order is the
+	// DfT-2 knob.
+	lineX := map[string]float64{
+		"clk1": 68, "clk2": 71, "clk3": 74,
+		"vin": 89, "vref": 92, "vdda": 95, "vss": 98, "out": 101,
+	}
+	if dft {
+		// Alternate n/p bias lines: adjacent voltages differ by ~2.8 V.
+		lineX["vbn1"], lineX["vbp1"], lineX["vbn2"], lineX["vbp2"] = 77, 80, 83, 86
+	} else {
+		// Similar voltages side by side: vbn1|vbn2 and vbp1|vbp2 differ
+		// by only ~20 mV — the paper's hard-to-detect shorts.
+		lineX["vbn1"], lineX["vbn2"], lineX["vbp1"], lineX["vbp2"] = 77, 80, 83, 86
+	}
+
+	routeNets(b, terms, trunkY, lineX)
+	drawLines(b, lineX, 2, 98)
+
+	b.C.MarkPort("vin", "vref", "clk1", "clk2", "clk3",
+		"vbn1", "vbn2", "vbp1", "vbp2", "vdda", "vss", "out")
+	return b.C
+}

@@ -1,0 +1,199 @@
+package macros
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adc"
+	"repro/internal/faults"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/process"
+	"repro/internal/signature"
+	"repro/internal/spice"
+)
+
+// LadderMacro is the reference resistor string: 256 matched polysilicon
+// segments between the external reference terminals, folded into a
+// serpentine so that physically adjacent runs are electrically many taps
+// apart (which is what makes its shorts so current-observable — the paper
+// found 99.8 % of ladder faults current-detectable). Each tap drives one
+// comparator slice.
+type LadderMacro struct{}
+
+// Ladder geometry/electrical constants.
+const (
+	// LadderSegments is the number of series resistors.
+	LadderSegments = NumComparators
+	// LadderRowLen is the number of segments per serpentine row.
+	LadderRowLen = 16
+	// RSeg is the nominal segment resistance (Ω); the full string is
+	// 2 kΩ, drawing ≈1 mA from the 2 V reference span.
+	RSeg = 8.0
+)
+
+// NewLadder returns the ladder macro.
+func NewLadder() *LadderMacro { return &LadderMacro{} }
+
+// Name implements Macro.
+func (l *LadderMacro) Name() string { return "ladder" }
+
+// Count implements Macro.
+func (l *LadderMacro) Count() int { return 1 }
+
+// tapName returns the canonical net name of tap k (0..LadderSegments).
+func tapName(k int) string { return fmt.Sprintf("t%03d", k) }
+
+// buildLadderCircuit constructs the resistor string with its reference
+// sources. Taps 0 and 256 are the external terminals.
+func (l *LadderMacro) buildLadderCircuit(v Variation) *netlist.Builder {
+	b := netlist.NewBuilder()
+	b.Vsrc("vrefhi", tapName(LadderSegments), "0", netlist.DC(VRefHi))
+	b.Vsrc("vreflo", tapName(0), "0", netlist.DC(VRefLo))
+	for i := 0; i < LadderSegments; i++ {
+		b.R(fmt.Sprintf("r%03d", i), tapName(i), tapName(i+1), RSeg*v.RhoScale)
+	}
+	return b
+}
+
+// solveTaps returns the tap voltages and terminal currents.
+func (l *LadderMacro) solveTaps(f *faults.Fault, opt RespondOpts) (taps []float64, ihi, ilo float64, err error) {
+	b := l.buildLadderCircuit(opt.Var)
+	if f != nil {
+		if err := faults.Inject(b.C, *f, procShared, faults.InjectOptions{NonCat: opt.NonCat}); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	sol, err := spice.New(b.C, spice.DefaultOptions()).OP()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	taps = make([]float64, LadderSegments+1)
+	for k := range taps {
+		taps[k] = sol.V(tapName(k))
+	}
+	return taps, sol.I("vrefhi"), sol.I("vreflo"), nil
+}
+
+// Respond implements Macro. The voltage signature is determined by
+// propagating the faulty tap voltages through the high-level ADC model
+// (ideal comparators, faulty references) and running the missing-code
+// test; the current signature is the deviation of the reference-terminal
+// currents.
+func (l *LadderMacro) Respond(f *faults.Fault, opt RespondOpts) (*signature.Response, error) {
+	resp := &signature.Response{Currents: map[string]float64{}}
+	taps, ihi, ilo, err := l.solveTaps(f, opt)
+	if err != nil {
+		if f == nil {
+			return nil, err
+		}
+		resp.Voltage = signature.VSigMixed
+		resp.MissingCode = true
+		resp.SimError = err
+		return resp, nil
+	}
+	resp.Currents["iin.vref.hi"] = math.Abs(ihi)
+	resp.Currents["iin.vref.lo"] = math.Abs(ilo)
+
+	if opt.CurrentsOnly {
+		return resp, nil
+	}
+
+	// Nominal taps under the same variation (ratiometric: uniform rho
+	// scaling leaves them unchanged, so deviations isolate the fault).
+	nomTaps, _, _, err := l.solveTaps(nil, opt)
+	if err != nil {
+		return nil, err
+	}
+	worst := 0.0
+	a := adc.New(NumComparators, VRefLo, VRefHi)
+	for k := 0; k < NumComparators; k++ {
+		// Comparator k compares against tap k+... the behavioural
+		// model's tap i is the threshold of slice i; our string tap
+		// i+0 feeds slice i (taps 1..256 of the string used as
+		// thresholds would offset by half an LSB — immaterial for
+		// missing-code detection, we apply deviations).
+		dev := taps[k] - nomTaps[k]
+		a.Taps[k] += dev
+		if d := math.Abs(dev); d > worst {
+			worst = d
+		}
+	}
+	resp.OffsetV = worst
+	if a.MissingCodeTest(VRefLo, VRefHi, 1000).HasMissing() {
+		resp.MissingCode = true
+		resp.Voltage = signature.VSigOffset
+		if worst > 10*LSB {
+			resp.Voltage = signature.VSigStuck
+		}
+	} else {
+		resp.Voltage = signature.VSigNone
+	}
+	return resp, nil
+}
+
+// Layout implements Macro: a serpentine of polysilicon segments with
+// metal1 tap stubs rising to the comparator array. The dft flag does not
+// change the ladder.
+func (l *LadderMacro) Layout(bool) *layout.Cell {
+	b := layout.NewBuilder("ladder")
+	b.DefaultWidth = 1.2
+	const segLen = 6.0
+	const rowPitch = 4.0
+	rows := LadderSegments / LadderRowLen
+	for r := 0; r < rows; r++ {
+		y := float64(r) * rowPitch
+		for s := 0; s < LadderRowLen; s++ {
+			i := r*LadderRowLen + s
+			// Serpentine: odd rows run right-to-left, so their
+			// terminal order is mirrored to keep the electrically
+			// continuing tap at the fold side.
+			if r%2 == 0 {
+				x := float64(s) * segLen
+				b.Resistor(fmt.Sprintf("r%03d", i), tapName(i), tapName(i+1), x, y, segLen, 1.2)
+			} else {
+				x := float64(LadderRowLen-1-s) * segLen
+				b.Resistor(fmt.Sprintf("r%03d", i), tapName(i+1), tapName(i), x, y, segLen, 1.2)
+			}
+		}
+		// Vertical poly link to the next row at the fold.
+		if r+1 < rows {
+			endTap := tapName((r + 1) * LadderRowLen)
+			var x float64
+			if r%2 == 0 {
+				x = float64(LadderRowLen) * segLen
+			} else {
+				x = 0
+			}
+			b.VWire(process.Poly, endTap, x, y, y+rowPitch)
+		}
+	}
+	// Tap stubs: metal1 risers from every 4th tap junction (the layout
+	// abstraction of the tap lines leaving toward the comparators).
+	for k := 0; k <= LadderSegments; k += 4 {
+		r := k / LadderRowLen
+		pos := k % LadderRowLen
+		var x float64
+		switch {
+		case k == LadderSegments:
+			// The final tap sits at the left end of the last
+			// (odd) row.
+			r = rows - 1
+			x = 0
+		case r%2 == 0:
+			x = float64(pos) * segLen
+		default:
+			x = float64(LadderRowLen-pos) * segLen
+		}
+		y := math.Min(float64(r), float64(rows-1)) * rowPitch
+		net := tapName(k)
+		b.CutAt(process.Contact, net, x, y)
+		b.VWire(process.Metal1, net, x, y, y+2.5)
+	}
+	b.C.MarkPort(tapName(0), tapName(LadderSegments))
+	// Every tap drives a comparator, so tap nets are shared too.
+	for k := 0; k <= LadderSegments; k += 4 {
+		b.C.MarkPort(tapName(k))
+	}
+	return b.C
+}

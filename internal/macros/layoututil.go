@@ -1,0 +1,116 @@
+package macros
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/process"
+)
+
+// procShared is the process description used by every macro's fault
+// modelling (material short resistances etc.).
+var procShared = process.Default()
+
+// Layout abstraction notes
+//
+// The macro layouts are procedural Manhattan abstractions of the real mask
+// data: devices sit in rows, every net gets a horizontal metal1 trunk in a
+// routing channel with short vertical metal1 stubs to the device contacts,
+// and the shared distribution lines (clocks, biases, supplies, vin/vref)
+// run vertically in metal2 through the cell. Rare same-layer stub/trunk
+// crossings are tolerated as "virtual crossovers" (assumed realised with
+// sub-resolution metal2 hops); they only marginally inflate the bridge
+// statistics between the crossing nets. What the defect statistics
+// actually depend on — which nets are adjacent, on which layer, over what
+// length, and which device areas exist — is faithfully represented, and
+// net connectivity is validated (one component per net) by the macro
+// layout tests.
+
+// devPlace positions one transistor in a macro layout.
+type devPlace struct {
+	name, d, g, s string
+	x, y          float64
+	pmos          bool
+}
+
+// terminal is a point that must be wired to a net.
+type terminal struct {
+	net  string
+	x, y float64
+	gate bool // needs a poly contact at (x, y)
+}
+
+// placeDevices draws the devices and collects their terminals. Geometric
+// channel width is fixed at 4 µm (electrical W lives in the netlist).
+func placeDevices(b *layout.Builder, devs []devPlace, pmosBulk string) []terminal {
+	var terms []terminal
+	const w = 4.0
+	for _, d := range devs {
+		opt := layout.MOSOpts{W: w, L: 1, PMOS: d.pmos}
+		if d.pmos {
+			opt.Bulk = pmosBulk
+		}
+		b.MOS(d.name, d.d, d.g, d.s, d.x, d.y, opt)
+		terms = append(terms,
+			terminal{net: d.s, x: d.x - 1.5, y: d.y},
+			terminal{net: d.d, x: d.x + 1.5, y: d.y},
+			terminal{net: d.g, x: d.x, y: d.y + w/2 + 0.5, gate: true},
+		)
+	}
+	return terms
+}
+
+// routeNets draws, for every net with terminals, a horizontal metal1
+// trunk at its assigned channel y plus vertical metal1 stubs from each
+// terminal, and drops a via to the net's vertical metal2 distribution
+// line when one exists.
+func routeNets(b *layout.Builder, terms []terminal, trunkY map[string]float64, lineX map[string]float64) {
+	byNet := map[string][]terminal{}
+	for _, t := range terms {
+		byNet[t.net] = append(byNet[t.net], t)
+	}
+	for net, ts := range byNet {
+		ty, ok := trunkY[net]
+		if !ok {
+			continue
+		}
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		for _, t := range ts {
+			minX = math.Min(minX, t.x)
+			maxX = math.Max(maxX, t.x)
+			if t.gate {
+				b.CutAt(process.Contact, net, t.x, t.y)
+			}
+			lo, hi := math.Min(t.y, ty), math.Max(t.y, ty)
+			b.VWire(process.Metal1, net, t.x, lo-0.5, hi+0.5)
+		}
+		if lx, ok := lineX[net]; ok {
+			maxX = math.Max(maxX, lx)
+			minX = math.Min(minX, lx)
+			b.CutAt(process.Via, net, lx, ty)
+		}
+		b.HWire(process.Metal1, net, minX-1, maxX+1, ty)
+	}
+}
+
+// drawLines draws the vertical metal2 distribution lines at the given x
+// positions, spanning the cell height.
+func drawLines(b *layout.Builder, lineX map[string]float64, y0, y1 float64) {
+	for net, x := range lineX {
+		b.VWire(process.Metal2, net, x, y0, y1)
+	}
+}
+
+// platedCap draws a parallel-plate capacitor: a poly bottom plate on net
+// bot and a metal1 top plate on net top (pinhole and extra-contact defects
+// between the plates short the capacitor, the classic sampling-cap defect).
+func platedCap(b *layout.Builder, top, bot string, x0, y0, x1, y1 float64) (topTerm, botTerm terminal) {
+	b.RectWire(process.Poly, bot, geom.NewRect(x0, y0, x1, y1))
+	b.RectWire(process.Metal1, top, geom.NewRect(x0+1, y0+1, x1-1, y1-1))
+	// The top plate connects via its metal; the bottom plate needs a
+	// poly contact just outside the top plate's shadow.
+	b.CutAt(process.Contact, bot, x0+0.5, y0+0.5)
+	return terminal{net: top, x: (x0 + x1) / 2, y: (y0 + y1) / 2},
+		terminal{net: bot, x: x0 + 0.5, y: y0 + 0.5}
+}

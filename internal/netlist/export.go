@@ -1,0 +1,81 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteSpice emits the circuit as a SPICE-compatible deck so the
+// reproduction's netlists can be cross-checked in an external simulator
+// (ngspice etc.). Time-dependent sources are emitted as their t=0 DC
+// value with the waveform noted in a comment; the two MOS model cards are
+// emitted as .model lines.
+func WriteSpice(w io.Writer, title string, c *Circuit) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "* %s\n", title)
+	fmt.Fprintf(&b, "* exported by the DATE-1995 defect-oriented test reproduction\n")
+
+	models := map[string]MOSModel{}
+	for _, el := range c.Elems {
+		switch e := el.(type) {
+		case *Resistor:
+			fmt.Fprintf(&b, "R%s %s %s %g\n", sanitize(e.Label), node(c, e.A), node(c, e.B), e.R)
+		case *Capacitor:
+			fmt.Fprintf(&b, "C%s %s %s %g\n", sanitize(e.Label), node(c, e.A), node(c, e.B), e.C)
+		case *VSource:
+			fmt.Fprintf(&b, "V%s %s %s DC %g", sanitize(e.Label), node(c, e.P), node(c, e.N), e.W.At(0))
+			if _, dc := e.W.(DC); !dc {
+				fmt.Fprintf(&b, " ; time-dependent waveform %T", e.W)
+			}
+			fmt.Fprintln(&b)
+		case *ISource:
+			fmt.Fprintf(&b, "I%s %s %s DC %g\n", sanitize(e.Label), node(c, e.P), node(c, e.N), e.W.At(0))
+		case *MOSFET:
+			name := modelName(e.Model)
+			models[name] = e.Model
+			fmt.Fprintf(&b, "M%s %s %s %s %s %s W=%gu L=%gu\n",
+				sanitize(e.Label), node(c, e.D), node(c, e.G), node(c, e.S), node(c, e.B),
+				name, e.W*1e6, e.L*1e6)
+		default:
+			fmt.Fprintf(&b, "* unsupported element %s (%T)\n", el.Name(), el)
+		}
+	}
+	for name, m := range models {
+		kind := "NMOS"
+		if m.PMOS {
+			kind = "PMOS"
+		}
+		fmt.Fprintf(&b, ".model %s %s (LEVEL=1 VTO=%g KP=%g LAMBDA=%g GAMMA=%g PHI=%g)\n",
+			name, kind, m.VT0, m.KP, m.Lambda, m.Gamma, m.Phi)
+	}
+	fmt.Fprintln(&b, ".end")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// node renders a node name in SPICE syntax.
+func node(c *Circuit, n NodeID) string {
+	return sanitize(c.NodeName(n))
+}
+
+// sanitize replaces characters SPICE node/element names dislike.
+func sanitize(s string) string {
+	r := strings.NewReplacer(".", "_", "#", "_", "/", "_")
+	return r.Replace(s)
+}
+
+// modelName derives a deterministic card name from the polarity and
+// threshold magnitude (distinct variations get distinct cards).
+func modelName(m MOSModel) string {
+	kind := "n"
+	vt := m.VT0
+	if m.PMOS {
+		kind = "p"
+		vt = -vt
+	}
+	if vt < 0 {
+		vt = -vt
+	}
+	return fmt.Sprintf("m%s_%d", kind, int(vt*1e4))
+}

@@ -1,0 +1,44 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteSpice(t *testing.T) {
+	b := NewBuilder()
+	b.Vsrc("vdd", "vdd", "0", DC(5))
+	b.Vsrc("vin", "in", "0", Pulse{V0: 0, V1: 5, Width: 1})
+	b.R("r.load", "vdd", "out", 10e3)
+	b.Cap("c1", "out", "0", 1e-12)
+	b.NMOS("m1", "out", "in", "0", 10, 1)
+	b.PMOS("m2", "out", "in", "vdd", "vdd", 20, 1)
+	b.Isrc("ib", "vdd", "out", DC(1e-6))
+
+	var buf bytes.Buffer
+	if err := WriteSpice(&buf, "test deck", b.C); err != nil {
+		t.Fatal(err)
+	}
+	deck := buf.String()
+	for _, want := range []string{
+		"* test deck",
+		"Rr_load vdd out 10000",
+		"Cc1 out 0 1e-12",
+		"Vvdd vdd 0 DC 5",
+		"Mm1 out in 0 0 mn_7500 W=10u L=1u",
+		"Mm2 out in vdd vdd mp_7500 W=20u L=1u",
+		".model mn_7500 NMOS",
+		".model mp_7500 PMOS",
+		"Iib vdd out DC 1e-06",
+		".end",
+	} {
+		if !strings.Contains(deck, want) {
+			t.Fatalf("deck missing %q:\n%s", want, deck)
+		}
+	}
+	// Time-dependent source annotated.
+	if !strings.Contains(deck, "time-dependent waveform") {
+		t.Fatal("waveform note missing")
+	}
+}

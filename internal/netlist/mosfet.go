@@ -1,0 +1,224 @@
+package netlist
+
+import "math"
+
+// MOSModel is a level-1 (Shichman–Hodges) MOSFET model card with simple
+// body effect, channel-length modulation and temperature dependence. The
+// defaults mirror a 1 µm CMOS process at 5 V.
+type MOSModel struct {
+	// PMOS selects the p-channel polarity.
+	PMOS bool
+	// VT0 is the zero-bias threshold voltage (positive for NMOS,
+	// negative for PMOS).
+	VT0 float64
+	// KP is the transconductance parameter µCox (A/V²).
+	KP float64
+	// Lambda is the channel-length modulation (1/V).
+	Lambda float64
+	// Gamma is the body-effect coefficient (√V); Phi the surface
+	// potential (V).
+	Gamma, Phi float64
+	// IOff is the drain-source off-state leakage per unit W/L (A); it
+	// keeps IDDQ realistic without a full subthreshold model.
+	IOff float64
+	// TCV is the threshold temperature coefficient (V/°C, applied as
+	// VT0 - TCV*(T-27)); BEX the mobility exponent for KP scaling.
+	TCV, BEX float64
+}
+
+// NMOS1 returns the default 1 µm NMOS model card.
+func NMOS1() MOSModel {
+	return MOSModel{
+		VT0: 0.75, KP: 60e-6, Lambda: 0.04, Gamma: 0.4, Phi: 0.65,
+		IOff: 1e-12, TCV: 2e-3, BEX: -1.5,
+	}
+}
+
+// PMOS1 returns the default 1 µm PMOS model card.
+func PMOS1() MOSModel {
+	return MOSModel{
+		PMOS: true, VT0: -0.75, KP: 22e-6, Lambda: 0.05, Gamma: 0.5, Phi: 0.65,
+		IOff: 1e-12, TCV: -2e-3, BEX: -1.5,
+	}
+}
+
+// AtTemp returns the model adjusted to temperature tC (°C), relative to
+// the nominal 27 °C.
+func (m MOSModel) AtTemp(tC float64) MOSModel {
+	dt := tC - 27
+	m.VT0 -= m.TCV * dt
+	m.KP *= math.Pow((tC+273.15)/300.15, m.BEX)
+	return m
+}
+
+// MOSFET is a four-terminal MOS transistor using MOSModel. Gate
+// capacitances are not part of the stamp; the macro builder adds explicit
+// linear capacitors (see AddMOS in the builder helpers) so the transient
+// engine sees charge storage while the DC stamp stays purely resistive.
+type MOSFET struct {
+	Label      string
+	D, G, S, B NodeID
+	Model      MOSModel
+	// W and L are the channel width and length in metres.
+	W, L float64
+}
+
+// Name implements Element.
+func (m *MOSFET) Name() string { return m.Label }
+
+// Nodes implements Element. Order: D, G, S, B.
+func (m *MOSFET) Nodes() []NodeID { return []NodeID{m.D, m.G, m.S, m.B} }
+
+// Retarget implements Element.
+func (m *MOSFET) Retarget(i int, n NodeID) {
+	switch i {
+	case 0:
+		m.D = n
+	case 1:
+		m.G = n
+	case 2:
+		m.S = n
+	case 3:
+		m.B = n
+	default:
+		panic(badTerminal(m.Label, i))
+	}
+}
+
+// NumAux implements Element.
+func (m *MOSFET) NumAux() int { return 0 }
+
+// Linear implements Element.
+func (m *MOSFET) Linear() bool { return false }
+
+// eval computes the drain current and small-signal conductances of the
+// intrinsic device for terminal voltages vd, vg, vs, vb (all relative to
+// ground), in the NMOS frame. Returns ids (current flowing D->S inside
+// the device), gm = ∂I/∂Vgs, gds = ∂I/∂Vds, gmb = ∂I/∂Vbs.
+func (m *MOSFET) eval(vd, vg, vs, vb float64) (ids, gm, gds, gmb float64) {
+	mod := m.Model
+	sign := 1.0
+	if mod.PMOS {
+		// Evaluate the PMOS as an NMOS with inverted voltages.
+		vd, vg, vs, vb = -vd, -vg, -vs, -vb
+		sign = -1
+	}
+	// Source-drain symmetry: operate with vds >= 0.
+	flip := false
+	if vd < vs {
+		vd, vs = vs, vd
+		flip = true
+	}
+	vgs := vg - vs
+	vds := vd - vs
+	vbs := vb - vs
+
+	vt0 := mod.VT0
+	if mod.PMOS {
+		vt0 = -mod.VT0 // in the NMOS frame the threshold is positive
+	}
+	// Body effect (clamp the sqrt arguments).
+	phi := mod.Phi
+	sb := phi - vbs
+	if sb < 0.05 {
+		sb = 0.05
+	}
+	vth := vt0 + mod.Gamma*(math.Sqrt(sb)-math.Sqrt(phi))
+	dvthdvbs := -mod.Gamma / (2 * math.Sqrt(sb))
+
+	beta := mod.KP * m.W / m.L
+	vov := vgs - vth
+	// Off-state leakage, present in every region for continuity at the
+	// cutoff boundary; tanh rolls it off smoothly through vds = 0.
+	leak := mod.IOff * (m.W / m.L) * math.Tanh(vds/0.1)
+	switch {
+	case vov <= 0:
+		// Cutoff: leakage only.
+		ids = leak
+		gds = mod.IOff * (m.W / m.L) / 0.1 * (1 - math.Tanh(vds/0.1)*math.Tanh(vds/0.1))
+		gm = 0
+		gmb = 0
+	case vds < vov:
+		// Linear (triode).
+		cm := 1 + mod.Lambda*vds
+		ids = beta*(vov*vds-vds*vds/2)*cm + leak
+		gm = beta * vds * cm
+		gds = beta*(vov-vds)*cm + beta*(vov*vds-vds*vds/2)*mod.Lambda
+		gmb = gm * (-dvthdvbs)
+	default:
+		// Saturation.
+		cm := 1 + mod.Lambda*vds
+		ids = beta/2*vov*vov*cm + leak
+		gm = beta * vov * cm
+		gds = beta / 2 * vov * vov * mod.Lambda
+		gmb = gm * (-dvthdvbs)
+	}
+	if flip {
+		ids = -ids
+		// After flipping, gm/gds/gmb refer to the swapped frame; the
+		// caller-side stamp uses the original terminals, so express
+		// derivatives versus the original voltages:
+		// I(D,S swapped) = -I'(...), handled in Stamp via re-eval.
+	}
+	ids *= sign
+	return ids, gm, gds, gmb
+}
+
+// Stamp implements Element with a Norton companion linearisation around
+// the present iterate. Derivatives are taken numerically from eval, which
+// sidesteps the sign bookkeeping of the polarity/source-swap frames and is
+// robust for a model this cheap.
+func (m *MOSFET) Stamp(ctx *Context, _ int) {
+	vd, vg, vs, vb := ctx.X(m.D), ctx.X(m.G), ctx.X(m.S), ctx.X(m.B)
+	const h = 1e-6
+	i0, _, _, _ := m.eval(vd, vg, vs, vb)
+	id1, _, _, _ := m.eval(vd+h, vg, vs, vb)
+	ig1, _, _, _ := m.eval(vd, vg+h, vs, vb)
+	is1, _, _, _ := m.eval(vd, vg, vs+h, vb)
+	ib1, _, _, _ := m.eval(vd, vg, vs, vb+h)
+	gdd := (id1 - i0) / h
+	gdg := (ig1 - i0) / h
+	gds := (is1 - i0) / h
+	gdb := (ib1 - i0) / h
+
+	// Current flows D->S through the channel. MNA: I_D = +ids at drain
+	// (leaving node into channel), I_S = -ids.
+	// Linearised: i = i0 + gdd*(Vd-vd) + gdg*(Vg-vg) + gds*(Vs-vs) + gdb*(Vb-vb).
+	ieq := i0 - gdd*vd - gdg*vg - gds*vs - gdb*vb
+
+	dIdx := idx(m.D)
+	sIdx := idx(m.S)
+	stampRow := func(row int, signv float64) {
+		if row < 0 {
+			return
+		}
+		if j := idx(m.D); j >= 0 {
+			ctx.A(row, j, signv*gdd)
+		}
+		if j := idx(m.G); j >= 0 {
+			ctx.A(row, j, signv*gdg)
+		}
+		if j := idx(m.S); j >= 0 {
+			ctx.A(row, j, signv*gds)
+		}
+		if j := idx(m.B); j >= 0 {
+			ctx.A(row, j, signv*gdb)
+		}
+		ctx.B(row, -signv*ieq)
+	}
+	stampRow(dIdx, 1)
+	stampRow(sIdx, -1)
+
+	// Convergence aid: gmin from drain and source to ground.
+	if ctx.Gmin > 0 {
+		ctx.StampG(m.D, Ground, ctx.Gmin)
+		ctx.StampG(m.S, Ground, ctx.Gmin)
+	}
+}
+
+// Ids returns the channel current at the given solved node voltages
+// (positive flowing D->S), for measurement purposes.
+func (m *MOSFET) Ids(vd, vg, vs, vb float64) float64 {
+	i, _, _, _ := m.eval(vd, vg, vs, vb)
+	return i
+}

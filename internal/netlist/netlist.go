@@ -1,0 +1,199 @@
+// Package netlist represents analog circuits at the element level: nodes,
+// two-terminal elements (resistors, capacitors, independent sources) and
+// MOSFETs with a level-1 model. Circuits are built programmatically by the
+// macro-cell library and mutated by the fault modeller (element insertion
+// for shorts, terminal retargeting for opens).
+//
+// The package defines the element Stamp interface the MNA engine in
+// internal/spice consumes; elements stamp their linearised companion models
+// into a Context supplied by the engine.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a circuit node. Ground is node 0 and is always named
+// "0"; its voltage is the reference and it carries no MNA unknown.
+type NodeID int
+
+// Ground is the reference node.
+const Ground NodeID = 0
+
+// Circuit is a flat netlist.
+type Circuit struct {
+	names  []string
+	byName map[string]NodeID
+	Elems  []Element
+}
+
+// New returns an empty circuit containing only the ground node "0".
+func New() *Circuit {
+	c := &Circuit{byName: map[string]NodeID{}}
+	c.names = append(c.names, "0")
+	c.byName["0"] = Ground
+	return c
+}
+
+// Node returns the node with the given name, creating it if necessary.
+func (c *Circuit) Node(name string) NodeID {
+	if id, ok := c.byName[name]; ok {
+		return id
+	}
+	id := NodeID(len(c.names))
+	c.names = append(c.names, name)
+	c.byName[name] = id
+	return id
+}
+
+// NodeByName returns the node and whether it exists, without creating it.
+func (c *Circuit) NodeByName(name string) (NodeID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// NodeName returns the name of node n.
+func (c *Circuit) NodeName(n NodeID) string { return c.names[n] }
+
+// NumNodes returns the node count including ground.
+func (c *Circuit) NumNodes() int { return len(c.names) }
+
+// Add appends an element.
+func (c *Circuit) Add(e Element) { c.Elems = append(c.Elems, e) }
+
+// Element returns the element with the given name, or nil.
+func (c *Circuit) Element(name string) Element {
+	for _, e := range c.Elems {
+		if e.Name() == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// NodeNames returns the sorted names of all non-ground nodes.
+func (c *Circuit) NodeNames() []string {
+	out := append([]string(nil), c.names[1:]...)
+	sort.Strings(out)
+	return out
+}
+
+// StampMode selects the analysis context for stamping.
+type StampMode int
+
+const (
+	// DCOp: capacitors are open circuits, sources at their t=0 value.
+	DCOp StampMode = iota
+	// Transient: capacitors use a backward-Euler companion model.
+	Transient
+)
+
+// Context is the engine-provided stamping target for one Newton iteration.
+type Context struct {
+	Mode StampMode
+	// Time is the current analysis time; Dt the timestep (Transient only).
+	Time, Dt float64
+	// X returns the present iterate's voltage at a node.
+	X func(NodeID) float64
+	// XPrev returns the previous accepted timestep's voltage (Transient).
+	XPrev func(NodeID) float64
+	// SrcScale scales all independent sources (source-stepping homotopy).
+	SrcScale float64
+	// Gmin is the convergence-aid conductance applied by nonlinear
+	// elements from their terminals to ground.
+	Gmin float64
+
+	// A adds v to matrix entry (row i, col j) where i, j are MNA unknown
+	// indices; B adds v to the right-hand side. Node n has index n-1;
+	// aux variables have indices assigned by the engine.
+	A func(i, j int, v float64)
+	B func(i int, v float64)
+}
+
+// idx converts a node to its MNA index (-1 for ground).
+func idx(n NodeID) int { return int(n) - 1 }
+
+// StampG stamps a conductance g between nodes a and b.
+func (ctx *Context) StampG(a, b NodeID, g float64) {
+	ia, ib := idx(a), idx(b)
+	if ia >= 0 {
+		ctx.A(ia, ia, g)
+	}
+	if ib >= 0 {
+		ctx.A(ib, ib, g)
+	}
+	if ia >= 0 && ib >= 0 {
+		ctx.A(ia, ib, -g)
+		ctx.A(ib, ia, -g)
+	}
+}
+
+// StampI stamps a constant current i flowing from node a through the
+// element to node b (leaving a, entering b).
+func (ctx *Context) StampI(a, b NodeID, i float64) {
+	if ia := idx(a); ia >= 0 {
+		ctx.B(ia, -i)
+	}
+	if ib := idx(b); ib >= 0 {
+		ctx.B(ib, i)
+	}
+}
+
+// StampVS stamps an ideal voltage source v between a (+) and b (-) using
+// the aux unknown (branch current) at index aux.
+func (ctx *Context) StampVS(a, b NodeID, aux int, v float64) {
+	ia, ib := idx(a), idx(b)
+	if ia >= 0 {
+		ctx.A(ia, aux, 1)
+		ctx.A(aux, ia, 1)
+	}
+	if ib >= 0 {
+		ctx.A(ib, aux, -1)
+		ctx.A(aux, ib, -1)
+	}
+	ctx.B(aux, v)
+}
+
+// StampTransG stamps a transconductance: current g*(Vc-Vd) flowing from
+// node a to node b.
+func (ctx *Context) StampTransG(a, b, cp, cn NodeID, g float64) {
+	ia, ib, ic, id := idx(a), idx(b), idx(cp), idx(cn)
+	if ia >= 0 && ic >= 0 {
+		ctx.A(ia, ic, g)
+	}
+	if ia >= 0 && id >= 0 {
+		ctx.A(ia, id, -g)
+	}
+	if ib >= 0 && ic >= 0 {
+		ctx.A(ib, ic, -g)
+	}
+	if ib >= 0 && id >= 0 {
+		ctx.A(ib, id, g)
+	}
+}
+
+// Element is anything that can stamp itself into the MNA system.
+type Element interface {
+	// Name returns the unique element name.
+	Name() string
+	// Nodes returns the element's terminal nodes in a fixed order.
+	Nodes() []NodeID
+	// Retarget reconnects terminal i (index into Nodes()) to node n;
+	// used by the open-fault model.
+	Retarget(i int, n NodeID)
+	// NumAux returns how many MNA auxiliary unknowns (branch currents)
+	// the element needs.
+	NumAux() int
+	// Stamp writes the element's linearised contribution for the current
+	// iterate into ctx. auxBase is the index of the element's first aux
+	// unknown (meaningless if NumAux() == 0).
+	Stamp(ctx *Context, auxBase int)
+	// Linear reports whether the element's stamp is independent of X.
+	Linear() bool
+}
+
+// badTerminal formats the panic message for Retarget misuse.
+func badTerminal(name string, i int) string {
+	return fmt.Sprintf("netlist: element %s has no terminal %d", name, i)
+}

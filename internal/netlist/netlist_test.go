@@ -1,0 +1,219 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeCreation(t *testing.T) {
+	c := New()
+	if c.NumNodes() != 1 {
+		t.Fatalf("fresh circuit nodes = %d", c.NumNodes())
+	}
+	a := c.Node("a")
+	if a2 := c.Node("a"); a2 != a {
+		t.Fatal("Node must be idempotent")
+	}
+	bID := c.Node("b")
+	if a == Ground || bID == a {
+		t.Fatal("distinct ids required")
+	}
+	if c.NodeName(a) != "a" {
+		t.Fatalf("NodeName = %q", c.NodeName(a))
+	}
+	if _, ok := c.NodeByName("zz"); ok {
+		t.Fatal("NodeByName must not create")
+	}
+	names := c.NodeNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("NodeNames = %v", names)
+	}
+}
+
+func TestElementLookup(t *testing.T) {
+	b := NewBuilder()
+	b.R("r1", "a", "0", 100)
+	if b.C.Element("r1") == nil || b.C.Element("nope") != nil {
+		t.Fatal("Element lookup broken")
+	}
+}
+
+func TestRetarget(t *testing.T) {
+	b := NewBuilder()
+	r := b.R("r1", "a", "b", 1)
+	nb := b.N("c")
+	r.Retarget(1, nb)
+	if r.B != nb {
+		t.Fatal("Retarget failed")
+	}
+	m := b.NMOS("m1", "d", "g", "s", 10, 1)
+	m.Retarget(0, nb)
+	m.Retarget(3, nb)
+	if m.D != nb || m.B != nb {
+		t.Fatal("MOSFET Retarget failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad terminal index must panic")
+		}
+	}()
+	r.Retarget(5, nb)
+}
+
+func TestWaveforms(t *testing.T) {
+	if DC(3).At(99) != 3 {
+		t.Fatal("DC")
+	}
+	p := Pulse{V0: 0, V1: 5, Delay: 1, Rise: 1, Width: 2, Fall: 1, Period: 10}
+	cases := []struct{ t, v float64 }{
+		{0, 0}, {1, 0}, {1.5, 2.5}, {2, 5}, {3.9, 5}, {4.5, 2.5}, {5.1, 0},
+		{11.5, 2.5}, // periodic repeat
+	}
+	for _, c := range cases {
+		if got := p.At(c.t); math.Abs(got-c.v) > 1e-9 {
+			t.Errorf("Pulse.At(%g) = %g, want %g", c.t, got, c.v)
+		}
+	}
+	// Zero rise/fall edge case.
+	sharp := Pulse{V0: 0, V1: 1, Width: 1}
+	if sharp.At(0) != 1 || sharp.At(0.5) != 1 || sharp.At(1.5) != 0 {
+		t.Error("sharp pulse")
+	}
+	w := PWL{T: []float64{0, 1, 3}, V: []float64{0, 10, 0}}
+	if w.At(-1) != 0 || w.At(0.5) != 5 || w.At(2) != 5 || w.At(9) != 0 {
+		t.Errorf("PWL: %g %g %g %g", w.At(-1), w.At(0.5), w.At(2), w.At(9))
+	}
+	if (PWL{}).At(1) != 0 {
+		t.Error("empty PWL")
+	}
+	tri := Triangle{Lo: 1, Hi: 3, Period: 4}
+	if tri.At(0) != 1 || tri.At(1) != 2 || tri.At(2) != 3 || tri.At(3) != 2 || tri.At(4) != 1 {
+		t.Errorf("Triangle: %g %g %g %g %g", tri.At(0), tri.At(1), tri.At(2), tri.At(3), tri.At(4))
+	}
+	if (Triangle{Lo: 2, Hi: 9}).At(1) != 2 {
+		t.Error("degenerate triangle must return Lo")
+	}
+}
+
+func TestMOSRegionsNMOS(t *testing.T) {
+	m := &MOSFET{Label: "m", Model: NMOS1(), W: 10e-6, L: 1e-6}
+	// Cutoff: vgs = 0.
+	if i := m.Ids(5, 0, 0, 0); math.Abs(i) > 1e-9 {
+		t.Fatalf("cutoff Ids = %g", i)
+	}
+	// Saturation: vgs = 2, vds = 5 > vov = 1.25.
+	isat := m.Ids(5, 2, 0, 0)
+	want := 60e-6 * 10 / 2 * 1.25 * 1.25 * (1 + 0.04*5)
+	if math.Abs(isat-want)/want > 0.01 {
+		t.Fatalf("sat Ids = %g, want %g", isat, want)
+	}
+	// Triode: vds = 0.1 < vov.
+	itri := m.Ids(0.1, 2, 0, 0)
+	wantTri := 60e-6 * 10 * (1.25*0.1 - 0.005) * (1 + 0.04*0.1)
+	if math.Abs(itri-wantTri)/wantTri > 0.01 {
+		t.Fatalf("triode Ids = %g, want %g", itri, wantTri)
+	}
+	// Monotone in vgs.
+	if m.Ids(5, 3, 0, 0) <= isat {
+		t.Fatal("Ids must grow with vgs")
+	}
+	// Symmetry: swapped drain/source reverses sign.
+	if fwd, rev := m.Ids(2, 5, 0, 0), m.Ids(0, 5, 2, 0); math.Abs(fwd+rev) > 1e-9 {
+		t.Fatalf("symmetry: %g vs %g", fwd, rev)
+	}
+	// Body effect raises vth, lowering current.
+	mb := &MOSFET{Label: "mb", Model: NMOS1(), W: 10e-6, L: 1e-6}
+	if ib := mb.Ids(5, 2, 1, 0); ib >= m.Ids(5, 2, 1, 1) {
+		t.Fatal("reverse body bias must reduce current")
+	}
+}
+
+func TestMOSRegionsPMOS(t *testing.T) {
+	m := &MOSFET{Label: "p", Model: PMOS1(), W: 10e-6, L: 1e-6}
+	// On: source at 5, gate 0, drain 2 → current flows S→D, so D→S is negative.
+	i := m.Ids(2, 0, 5, 5)
+	if i >= 0 {
+		t.Fatalf("PMOS on-current direction: %g", i)
+	}
+	// Off: gate at 5.
+	if off := m.Ids(2, 5, 5, 5); math.Abs(off) > 1e-9 {
+		t.Fatalf("PMOS off Ids = %g", off)
+	}
+}
+
+func TestMOSLeakageContinuity(t *testing.T) {
+	m := &MOSFET{Label: "m", Model: NMOS1(), W: 10e-6, L: 1e-6}
+	// Across the cutoff boundary, current must be continuous at the
+	// picoamp scale (the subthreshold leak must not jump).
+	vth := m.Model.VT0
+	below := m.Ids(5, vth-1e-4, 0, 0)
+	above := m.Ids(5, vth+1e-4, 0, 0)
+	if math.Abs(above-below) > 1e-8 {
+		t.Fatalf("cutoff discontinuity: %g vs %g", below, above)
+	}
+}
+
+func TestAtTemp(t *testing.T) {
+	m := NMOS1()
+	hot := m.AtTemp(100)
+	if hot.VT0 >= m.VT0 {
+		t.Fatal("NMOS vth must fall with temperature")
+	}
+	if hot.KP >= m.KP {
+		t.Fatal("mobility must degrade with temperature")
+	}
+	if same := m.AtTemp(27); math.Abs(same.VT0-m.VT0) > 1e-12 || math.Abs(same.KP-m.KP) > 1e-12 {
+		t.Fatal("27°C must be nominal")
+	}
+}
+
+func TestBuilderMOSAddsCaps(t *testing.T) {
+	b := NewBuilder()
+	b.NMOS("m1", "d", "g", "s", 10, 1)
+	var caps int
+	for _, e := range b.C.Elems {
+		if _, ok := e.(*Capacitor); ok {
+			caps++
+		}
+	}
+	if caps != 4 {
+		t.Fatalf("MOS helper must add 4 caps, got %d", caps)
+	}
+	if b.C.Element("m1.cgs") == nil {
+		t.Fatal("cgs missing")
+	}
+}
+
+// Property: Ids is antisymmetric under source/drain exchange for any bias.
+func TestQuickMOSAntisymmetry(t *testing.T) {
+	m := &MOSFET{Label: "m", Model: NMOS1(), W: 10e-6, L: 1e-6}
+	f := func(vdRaw, vgRaw, vsRaw int8) bool {
+		vd := float64(vdRaw) / 25
+		vg := float64(vgRaw) / 25
+		vs := float64(vsRaw) / 25
+		fwd := m.Ids(vd, vg, vs, math.Min(vd, vs))
+		rev := m.Ids(vs, vg, vd, math.Min(vd, vs))
+		return math.Abs(fwd+rev) <= 1e-9+1e-6*math.Abs(fwd)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Ids is monotone non-decreasing in Vgs at fixed Vds >= 0.
+func TestQuickMOSMonotoneVgs(t *testing.T) {
+	m := &MOSFET{Label: "m", Model: NMOS1(), W: 10e-6, L: 1e-6}
+	f := func(vg1Raw, vg2Raw uint8, vdRaw uint8) bool {
+		vd := float64(vdRaw%50) / 10
+		g1 := float64(vg1Raw%50) / 10
+		g2 := float64(vg2Raw%50) / 10
+		if g1 > g2 {
+			g1, g2 = g2, g1
+		}
+		return m.Ids(vd, g2, 0, 0) >= m.Ids(vd, g1, 0, 0)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+)
+
+// fakeSystem collects stamps into dense structures for inspection.
+type fakeSystem struct {
+	n   int
+	a   [][]float64
+	b   []float64
+	sol []float64
+}
+
+func newFake(n int, sol []float64) *fakeSystem {
+	f := &fakeSystem{n: n, b: make([]float64, n), sol: sol}
+	f.a = make([][]float64, n)
+	for i := range f.a {
+		f.a[i] = make([]float64, n)
+	}
+	return f
+}
+
+func (f *fakeSystem) ctx(mode StampMode, dt float64, prev []float64) *Context {
+	return &Context{
+		Mode: mode,
+		Dt:   dt,
+		X: func(n NodeID) float64 {
+			if n == Ground {
+				return 0
+			}
+			return f.sol[int(n)-1]
+		},
+		XPrev: func(n NodeID) float64 {
+			if n == Ground {
+				return 0
+			}
+			return prev[int(n)-1]
+		},
+		SrcScale: 1,
+		A:        func(i, j int, v float64) { f.a[i][j] += v },
+		B:        func(i int, v float64) { f.b[i] += v },
+	}
+}
+
+func TestStampG(t *testing.T) {
+	f := newFake(2, []float64{0, 0})
+	ctx := f.ctx(DCOp, 0, nil)
+	ctx.StampG(1, 2, 0.5) // nodes 1,2 -> indices 0,1
+	if f.a[0][0] != 0.5 || f.a[1][1] != 0.5 || f.a[0][1] != -0.5 || f.a[1][0] != -0.5 {
+		t.Fatalf("G stamp: %v", f.a)
+	}
+	// Against ground: only the diagonal.
+	f2 := newFake(1, []float64{0})
+	f2.ctx(DCOp, 0, nil).StampG(1, Ground, 2)
+	if f2.a[0][0] != 2 {
+		t.Fatalf("ground G stamp: %v", f2.a)
+	}
+}
+
+func TestStampI(t *testing.T) {
+	f := newFake(2, []float64{0, 0})
+	f.ctx(DCOp, 0, nil).StampI(1, 2, 1e-3) // current leaves node 1, enters node 2
+	if f.b[0] != -1e-3 || f.b[1] != 1e-3 {
+		t.Fatalf("I stamp: %v", f.b)
+	}
+}
+
+func TestStampVS(t *testing.T) {
+	f := newFake(3, []float64{0, 0, 0}) // 2 nodes + 1 aux
+	f.ctx(DCOp, 0, nil).StampVS(1, 2, 2, 5)
+	if f.a[0][2] != 1 || f.a[2][0] != 1 || f.a[1][2] != -1 || f.a[2][1] != -1 {
+		t.Fatalf("VS incidence: %v", f.a)
+	}
+	if f.b[2] != 5 {
+		t.Fatalf("VS rhs: %v", f.b)
+	}
+}
+
+func TestStampTransG(t *testing.T) {
+	f := newFake(4, make([]float64, 4))
+	f.ctx(DCOp, 0, nil).StampTransG(1, 2, 3, 4, 1e-3)
+	if f.a[0][2] != 1e-3 || f.a[0][3] != -1e-3 || f.a[1][2] != -1e-3 || f.a[1][3] != 1e-3 {
+		t.Fatalf("transconductance stamp: %v", f.a)
+	}
+}
+
+func TestCapacitorStampModes(t *testing.T) {
+	c := &Capacitor{Label: "c", A: 1, B: Ground, C: 1e-9}
+	// DC: no contribution.
+	f := newFake(1, []float64{3})
+	c.Stamp(f.ctx(DCOp, 0, []float64{3}), 0)
+	if f.a[0][0] != 0 || f.b[0] != 0 {
+		t.Fatal("cap must be open in DC")
+	}
+	// Transient: g = C/dt and history current g·vPrev.
+	f2 := newFake(1, []float64{3})
+	c.Stamp(f2.ctx(Transient, 1e-6, []float64{2}), 0)
+	g := 1e-9 / 1e-6
+	if math.Abs(f2.a[0][0]-g) > 1e-18 {
+		t.Fatalf("cap conductance: %g", f2.a[0][0])
+	}
+	if math.Abs(f2.b[0]-g*2) > 1e-18 {
+		t.Fatalf("cap history: %g", f2.b[0])
+	}
+}
+
+func TestResistorStamp(t *testing.T) {
+	r := &Resistor{Label: "r", A: 1, B: Ground, R: 100}
+	f := newFake(1, []float64{0})
+	r.Stamp(f.ctx(DCOp, 0, nil), 0)
+	if math.Abs(f.a[0][0]-0.01) > 1e-15 {
+		t.Fatalf("R stamp: %g", f.a[0][0])
+	}
+	if !r.Linear() || r.NumAux() != 0 || r.Name() != "r" {
+		t.Fatal("resistor metadata")
+	}
+}
+
+func TestISourceStampScale(t *testing.T) {
+	s := I("i", 1, 2, 2e-3)
+	f := newFake(2, []float64{0, 0})
+	ctx := f.ctx(DCOp, 0, nil)
+	ctx.SrcScale = 0.5
+	s.Stamp(ctx, 0)
+	if f.b[0] != -1e-3 || f.b[1] != 1e-3 {
+		t.Fatalf("scaled I stamp: %v", f.b)
+	}
+}
+
+func TestVSourceStampScaleAndHelper(t *testing.T) {
+	v := V("v", 1, Ground, 4)
+	if v.NumAux() != 1 || !v.Linear() {
+		t.Fatal("vsource metadata")
+	}
+	f := newFake(2, []float64{0, 0}) // node1 + aux
+	ctx := f.ctx(DCOp, 0, nil)
+	ctx.SrcScale = 0.25
+	v.Stamp(ctx, 1)
+	if f.b[1] != 1 {
+		t.Fatalf("scaled VS rhs: %v", f.b)
+	}
+}
+
+// TestMOSFETStampConsistency checks the Norton companion: with the
+// linearisation point exactly at the solution, A·x - b reproduces the
+// device current at each terminal.
+func TestMOSFETStampConsistency(t *testing.T) {
+	m := &MOSFET{Label: "m", D: 1, G: 2, S: Ground, B: Ground, Model: NMOS1(), W: 10e-6, L: 1e-6}
+	x := []float64{3.0, 2.0} // vd=3, vg=2
+	f := newFake(2, x)
+	m.Stamp(f.ctx(DCOp, 0, nil), 0)
+	// KCL residual at the drain row: A[0]·x - b[0] should equal the
+	// channel current entering the matrix (ids).
+	res := f.a[0][0]*x[0] + f.a[0][1]*x[1] - f.b[0]
+	ids := m.Ids(3, 2, 0, 0)
+	if math.Abs(res-ids) > 1e-9 {
+		t.Fatalf("drain residual %g vs ids %g", res, ids)
+	}
+}
+
+// TestMOSFETStampGmin verifies the convergence-aid leak is applied.
+func TestMOSFETStampGmin(t *testing.T) {
+	m := &MOSFET{Label: "m", D: 1, G: 2, S: Ground, B: Ground, Model: NMOS1(), W: 10e-6, L: 1e-6}
+	f := newFake(2, []float64{0, 0})
+	ctx := f.ctx(DCOp, 0, nil)
+	ctx.Gmin = 1e-9
+	m.Stamp(ctx, 0)
+	if f.a[0][0] < 1e-9 {
+		t.Fatal("gmin missing at drain")
+	}
+}
+
+func TestACStampRC(t *testing.T) {
+	// Direct AC stamps: R in parallel with C to ground.
+	r := &Resistor{Label: "r", A: 1, B: Ground, R: 1000}
+	c := &Capacitor{Label: "c", A: 1, B: Ground, C: 1e-9}
+	var aReal, aImag float64
+	ctx := &ACContext{
+		Omega: 2 * math.Pi * 1e6,
+		A: func(i, j int, v complex128) {
+			if i == 0 && j == 0 {
+				aReal += real(v)
+				aImag += imag(v)
+			}
+		},
+		B: func(int, complex128) {},
+	}
+	r.StampAC(ctx, 0)
+	c.StampAC(ctx, 0)
+	if math.Abs(aReal-1e-3) > 1e-12 {
+		t.Fatalf("AC real part: %g", aReal)
+	}
+	if math.Abs(aImag-2*math.Pi*1e6*1e-9) > 1e-12 {
+		t.Fatalf("AC imag part: %g", aImag)
+	}
+}
+
+func TestACStampSourceSelection(t *testing.T) {
+	v := V("vx", 1, Ground, 5)
+	got := map[int]complex128{}
+	ctx := &ACContext{
+		Source: "other",
+		A:      func(int, int, complex128) {},
+		B:      func(i int, val complex128) { got[i] += val },
+	}
+	v.StampAC(ctx, 1)
+	if got[1] != 0 {
+		t.Fatal("non-selected source must be quiesced")
+	}
+	ctx.Source = "vx"
+	v.StampAC(ctx, 1)
+	if got[1] != 1 {
+		t.Fatalf("selected source rhs = %v", got[1])
+	}
+}

@@ -1,0 +1,167 @@
+package process
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultProcessSane(t *testing.T) {
+	p := Default()
+	if p.Name == "" || p.Lambda <= 0 {
+		t.Fatal("missing name or lambda")
+	}
+	if len(p.Defects) == 0 {
+		t.Fatal("no defect mechanisms")
+	}
+	for _, d := range p.Defects {
+		if d.Density <= 0 {
+			t.Errorf("%v: non-positive density", d.Type)
+		}
+		if d.D0 <= 0 || d.Dmax <= d.D0 {
+			t.Errorf("%v: bad size params D0=%g Dmax=%g", d.Type, d.D0, d.Dmax)
+		}
+	}
+	for _, l := range []Layer{Metal1, Metal2, Poly, NDiff, PDiff} {
+		if p.ShortRes[l] <= 0 {
+			t.Errorf("no short resistance for %v", l)
+		}
+	}
+	// Paper values.
+	if p.ShortRes[Metal1] != 0.2 {
+		t.Errorf("metal short = %g, want 0.2", p.ShortRes[Metal1])
+	}
+	if p.ExtraContactRes != 2 {
+		t.Errorf("extra contact = %g, want 2", p.ExtraContactRes)
+	}
+	if p.PinholeRes != 2000 {
+		t.Errorf("pinhole = %g, want 2000", p.PinholeRes)
+	}
+	if p.NonCatRes != 500 || p.NonCatCap != 1e-15 {
+		t.Errorf("non-cat model = %g/%g, want 500/1e-15", p.NonCatRes, p.NonCatCap)
+	}
+}
+
+func TestMetallisationDominates(t *testing.T) {
+	p := Default()
+	var metal, total float64
+	for _, d := range p.Defects {
+		total += d.Density
+		if d.Type == ExtraMaterial && (d.Layer == Metal1 || d.Layer == Metal2) {
+			metal += d.Density
+		}
+	}
+	if metal/total < 0.5 {
+		t.Fatalf("extra metal density fraction = %.2f, want > 0.5 (paper: metallisation dominates)", metal/total)
+	}
+}
+
+func TestLayerString(t *testing.T) {
+	for l := Layer(0); int(l) < NumLayers; l++ {
+		if s := l.String(); s == "" || s[0] == 'l' && s != "layer(…)" && len(s) > 8 && s[:6] == "layer(" {
+			t.Errorf("layer %d has placeholder name %q", int(l), s)
+		}
+	}
+	if Layer(99).String() != "layer(99)" {
+		t.Error("unknown layer formatting")
+	}
+	if DefectType(99).String() != "defect(99)" {
+		t.Error("unknown defect formatting")
+	}
+}
+
+func TestConducting(t *testing.T) {
+	want := map[Layer]bool{
+		NDiff: true, PDiff: true, Poly: true, Metal1: true, Metal2: true,
+		Contact: false, Via: false, NWell: false,
+	}
+	for l, w := range want {
+		if l.Conducting() != w {
+			t.Errorf("%v.Conducting() = %v, want %v", l, !w, w)
+		}
+	}
+}
+
+func TestPickDefectDistribution(t *testing.T) {
+	p := Default()
+	rng := rand.New(rand.NewSource(7))
+	counts := map[DefectType]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[p.PickDefect(rng).Type]++
+	}
+	// Empirical frequencies must match density ratios within 2%.
+	densByType := map[DefectType]float64{}
+	for _, d := range p.Defects {
+		densByType[d.Type] += d.Density
+	}
+	total := p.TotalDensity()
+	for ty, dens := range densByType {
+		want := dens / total
+		got := float64(counts[ty]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%v: freq %.4f, want %.4f", ty, got, want)
+		}
+	}
+}
+
+func TestSampleDiameterBounds(t *testing.T) {
+	spec := DefectSpec{Type: ExtraMaterial, Layer: Metal1, Density: 1, D0: 1.2, Dmax: 12}
+	rng := rand.New(rand.NewSource(3))
+	var below, above int
+	for i := 0; i < 100000; i++ {
+		d := spec.SampleDiameter(rng)
+		if d <= 0 || d > spec.Dmax {
+			t.Fatalf("diameter %g outside (0,%g]", d, spec.Dmax)
+		}
+		if d < spec.D0 {
+			below++
+		}
+		if d > 3*spec.D0 {
+			above++
+		}
+	}
+	// Half the mass sits below the peak.
+	if f := float64(below) / 100000; math.Abs(f-0.5) > 0.02 {
+		t.Errorf("mass below peak = %.3f, want ~0.5", f)
+	}
+	// The 1/x³ tail decays: beyond 3×D0 only 1/9 of the tail mass remains
+	// (before truncation), i.e. ~5.6% of total.
+	if f := float64(above) / 100000; f > 0.09 || f < 0.02 {
+		t.Errorf("tail mass beyond 3*D0 = %.3f, want ≈ 0.056", f)
+	}
+}
+
+// Property: sampled diameters always respect (0, Dmax] for arbitrary valid
+// spec parameters.
+func TestQuickSampleDiameter(t *testing.T) {
+	f := func(seed int64, d0raw, spanRaw uint8) bool {
+		d0 := 0.1 + float64(d0raw%40)/10
+		dmax := d0 * (1.5 + float64(spanRaw%80)/10)
+		spec := DefectSpec{D0: d0, Dmax: dmax}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			x := spec.SampleDiameter(rng)
+			if !(x > 0) || x > dmax+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickDefectDeterministic(t *testing.T) {
+	p := Default()
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		da, db := p.PickDefect(a), p.PickDefect(b)
+		if da != db {
+			t.Fatal("same seed must give same defect sequence")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"encoding/json"
+
+	"repro/internal/core"
+)
+
+// JSONRun is the machine-readable summary of a methodology run.
+type JSONRun struct {
+	DfT    bool         `json:"dft"`
+	Global JSONCoverage `json:"global_catastrophic"`
+	NonCat JSONCoverage `json:"global_non_catastrophic"`
+	Macros []JSONMacro  `json:"macros"`
+}
+
+// JSONCoverage mirrors core.GlobalCoverage.
+type JSONCoverage struct {
+	VoltageOnly float64 `json:"voltage_only_pct"`
+	Both        float64 `json:"both_pct"`
+	CurrentOnly float64 `json:"current_only_pct"`
+	Undetected  float64 `json:"undetected_pct"`
+	Total       float64 `json:"total_pct"`
+}
+
+// JSONMacro is the per-macro summary.
+type JSONMacro struct {
+	Name             string      `json:"name"`
+	Count            int         `json:"count"`
+	AreaUm2          float64     `json:"area_um2"`
+	DiscoveryDefects int         `json:"discovery_defects"`
+	DiscoveryFaults  int         `json:"discovery_faults"`
+	MagnitudeDefects int         `json:"magnitude_defects"`
+	TotalFaults      int         `json:"total_faults"`
+	UnmatchedFaults  int         `json:"unmatched_faults"`
+	Classes          int         `json:"classes"`
+	LocalFaultPct    float64     `json:"local_fault_pct"`
+	CurrentDetPct    float64     `json:"current_detectable_pct"`
+	Coverage         float64     `json:"coverage_pct"`
+	Table1           []JSONTable `json:"table1"`
+}
+
+// JSONTable is one Table 1 row.
+type JSONTable struct {
+	Kind       string  `json:"kind"`
+	Faults     int     `json:"faults"`
+	FaultsPct  float64 `json:"faults_pct"`
+	Classes    int     `json:"classes"`
+	ClassesPct float64 `json:"classes_pct"`
+}
+
+// toJSONCoverage converts a coverage split.
+func toJSONCoverage(g core.GlobalCoverage) JSONCoverage {
+	return JSONCoverage{
+		VoltageOnly: g.VoltageOnly,
+		Both:        g.Both,
+		CurrentOnly: g.CurrentOnly,
+		Undetected:  g.Undetected,
+		Total:       g.Total(),
+	}
+}
+
+// JSON serialises a run into an indented JSON document.
+func JSON(run *core.Run) ([]byte, error) {
+	out := JSONRun{
+		DfT:    run.DfT,
+		Global: toJSONCoverage(core.Fig4(run, false)),
+		NonCat: toJSONCoverage(core.Fig4(run, true)),
+	}
+	for _, m := range run.Macros {
+		jm := JSONMacro{
+			Name:             m.Name,
+			Count:            m.Count,
+			AreaUm2:          m.Area,
+			DiscoveryDefects: m.DiscoveryDefects,
+			DiscoveryFaults:  m.DiscoveryFaults,
+			MagnitudeDefects: m.MagnitudeDefects,
+			TotalFaults:      m.TotalFaults,
+			UnmatchedFaults:  m.UnmatchedFaults,
+			Classes:          len(m.Classes),
+			LocalFaultPct:    core.LocalFaultPct(m),
+			CurrentDetPct:    core.CurrentDetectability(m, false),
+			Coverage:         core.MacroCoverage(m, false).Total(),
+		}
+		for _, r := range core.Table1(m) {
+			jm.Table1 = append(jm.Table1, JSONTable{
+				Kind: r.Kind.String(), Faults: r.Faults, FaultsPct: r.FaultsPct,
+				Classes: r.Classes, ClassesPct: r.ClassesPct,
+			})
+		}
+		out.Macros = append(out.Macros, jm)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,176 @@
+// Package report renders the methodology's tables and figures as text,
+// matching the layout of the paper's Tables 1–3 and Figures 3–5.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/signature"
+)
+
+// Table writes a simple aligned ASCII table.
+func Table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// Table1 renders the catastrophic fault/class breakdown.
+func Table1(w io.Writer, run *core.MacroRun) {
+	fmt.Fprintf(w, "Table 1: catastrophic faults and fault classes for %s\n", run.Name)
+	fmt.Fprintf(w, "  discovery sprinkle: %d defects -> %d faults; magnitude sprinkle: %d defects -> %d faults in %d classes (+%d unmatched tail)\n",
+		run.DiscoveryDefects, run.DiscoveryFaults, run.MagnitudeDefects, run.TotalFaults, len(run.Classes), run.UnmatchedFaults)
+	var rows [][]string
+	for _, r := range core.Table1(run) {
+		rows = append(rows, []string{
+			r.Kind.String(),
+			fmt.Sprintf("%d", r.Faults), Pct(r.FaultsPct),
+			fmt.Sprintf("%d", r.Classes), Pct(r.ClassesPct),
+		})
+	}
+	Table(w, []string{"fault type", "faults", "% faults", "classes", "% classes"}, rows)
+	fmt.Fprintf(w, "  faults local to the macro: %.1f%%\n\n", core.LocalFaultPct(run))
+}
+
+// sigOrder fixes the Table 2 row order to the paper's.
+var sigOrder = []signature.VoltageSig{
+	signature.VSigStuck, signature.VSigOffset, signature.VSigMixed,
+	signature.VSigClock, signature.VSigNone,
+}
+
+// Table2 renders the voltage fault-signature distribution.
+func Table2(w io.Writer, run *core.MacroRun) {
+	cat, nonCat := core.Table2(run)
+	fmt.Fprintf(w, "Table 2: voltage fault signatures (%s)\n", run.Name)
+	var rows [][]string
+	for _, s := range sigOrder {
+		rows = append(rows, []string{s.String(), Pct(cat[s]), Pct(nonCat[s])})
+	}
+	Table(w, []string{"fault signature", "% cat. faults", "% non-cat. faults"}, rows)
+	fmt.Fprintln(w)
+}
+
+// Table3 renders the current fault-signature distribution.
+func Table3(w io.Writer, run *core.MacroRun) {
+	cat, nonCat := core.Table3(run)
+	fmt.Fprintf(w, "Table 3: current fault signatures (%s)\n", run.Name)
+	rows := [][]string{
+		{"IVdd", Pct(cat.IVdd), Pct(nonCat.IVdd)},
+		{"IDDQ", Pct(cat.IDDQ), Pct(nonCat.IDDQ)},
+		{"Iinput", Pct(cat.Iin), Pct(nonCat.Iin)},
+		{"No deviations", Pct(cat.None), Pct(nonCat.None)},
+	}
+	Table(w, []string{"fault signature", "% cat. faults", "% non-cat. faults"}, rows)
+	fmt.Fprintln(w, "  (rows overlap; columns may sum to more than 100%)")
+	fmt.Fprintln(w)
+}
+
+// Fig3 renders the detectability grid for a macro.
+func Fig3(w io.Writer, run *core.MacroRun, nonCat bool) {
+	dist := core.Fig3(run, nonCat)
+	kind := "catastrophic"
+	if nonCat {
+		kind = "non-catastrophic"
+	}
+	fmt.Fprintf(w, "Fig 3: detectability of %s faults for %s\n", kind, run.Name)
+	type row struct {
+		label string
+		pct   float64
+	}
+	var rows []row
+	for det, pct := range dist {
+		var mech []string
+		if det.Missing {
+			mech = append(mech, "missing-code")
+		}
+		if det.IVdd {
+			mech = append(mech, "IVdd")
+		}
+		if det.IDDQ {
+			mech = append(mech, "IDDQ")
+		}
+		if det.Iin {
+			mech = append(mech, "Iinput")
+		}
+		label := strings.Join(mech, "+")
+		if label == "" {
+			label = "undetected"
+		}
+		rows = append(rows, row{label, pct})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].pct > rows[j].pct })
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.label, Pct(r.pct)})
+	}
+	Table(w, []string{"detected by", "% faults"}, cells)
+	s := core.SummarizeFig3(dist)
+	fmt.Fprintf(w, "  missing-code: %s%%  current: %s%%  current-only: %s%%  IDDQ-only: %s%%  covered: %s%%\n\n",
+		Pct(s.MissingCode), Pct(s.CurrentAny), Pct(s.CurrentOnly), Pct(s.IDDQOnly), Pct(s.Covered))
+}
+
+// Global renders the Fig 4/5 global coverage split.
+func Global(w io.Writer, title string, run *core.Run) {
+	fmt.Fprintf(w, "%s\n", title)
+	for _, nonCat := range []bool{false, true} {
+		g := core.Fig4(run, nonCat)
+		kind := "catastrophic"
+		if nonCat {
+			kind = "non-catastrophic"
+		}
+		fmt.Fprintf(w, "  %-17s voltage-only %5s%%  both %5s%%  current-only %5s%%  undetected %5s%%  total %5s%%\n",
+			kind+":", Pct(g.VoltageOnly), Pct(g.Both), Pct(g.CurrentOnly), Pct(g.Undetected), Pct(g.Total()))
+	}
+	fmt.Fprintln(w)
+}
+
+// PerMacro renders the per-macro coverage summary (paper §3.3).
+func PerMacro(w io.Writer, run *core.Run) {
+	fmt.Fprintln(w, "Per-macro detectability (catastrophic faults)")
+	var rows [][]string
+	for _, m := range run.Macros {
+		cov := core.MacroCoverage(m, false)
+		rows = append(rows, []string{
+			m.Name,
+			fmt.Sprintf("%d", len(m.Classes)),
+			fmt.Sprintf("%d", m.TotalFaults),
+			Pct(core.CurrentDetectability(m, false)),
+			Pct(cov.VoltageOnly + cov.Both),
+			Pct(cov.Total()),
+			fmt.Sprintf("%.3g", m.Weight()),
+		})
+	}
+	Table(w, []string{"macro", "classes", "faults", "% current-det", "% voltage-det", "% covered", "weight"}, rows)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,144 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/signature"
+)
+
+func sampleMacroRun() *core.MacroRun {
+	mk := func(det core.Detection, sig signature.VoltageSig, count int, kind faults.Kind) core.ClassAnalysis {
+		return core.ClassAnalysis{
+			Class: faults.Class{Fault: faults.Fault{Kind: kind, Nets: []string{"a", "b"}}, Count: count},
+			Resp:  &signature.Response{Voltage: sig},
+			Det:   det,
+		}
+	}
+	return &core.MacroRun{
+		Name: "comparator", Count: 256, Area: 9000, FaultRate: 0.07,
+		DiscoveryDefects: 1000, DiscoveryFaults: 70,
+		Classes: []faults.Class{
+			{Fault: faults.Fault{Kind: faults.Short, Nets: []string{"a", "b"}}, Count: 60},
+			{Fault: faults.Fault{Kind: faults.Open, Nets: []string{"c"}}, Count: 10},
+		},
+		TotalFaults: 70, LocalFaults: 20,
+		Cat: []core.ClassAnalysis{
+			mk(core.Detection{Missing: true, IVdd: true}, signature.VSigStuck, 40, faults.Short),
+			mk(core.Detection{IDDQ: true}, signature.VSigClock, 20, faults.Short),
+			mk(core.Detection{}, signature.VSigNone, 10, faults.Open),
+		},
+		NonCat: []core.ClassAnalysis{
+			mk(core.Detection{Iin: true}, signature.VSigOffset, 30, faults.Short),
+		},
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"col", "x"}, [][]string{{"longvalue", "1"}, {"v", "22"}})
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(12.345) != "12.3" {
+		t.Fatalf("Pct = %q", Pct(12.345))
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf, sampleMacroRun())
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Short", "Open", "85.7", "local to the macro: 28.6%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf, sampleMacroRun())
+	out := buf.String()
+	for _, want := range []string{"Output Stuck At", "57.1", "Offset (> 8mV)", "100.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Render(t *testing.T) {
+	var buf bytes.Buffer
+	Table3(&buf, sampleMacroRun())
+	out := buf.String()
+	for _, want := range []string{"IVdd", "IDDQ", "Iinput", "No deviations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3Render(t *testing.T) {
+	var buf bytes.Buffer
+	Fig3(&buf, sampleMacroRun(), false)
+	out := buf.String()
+	for _, want := range []string{"missing-code+IVdd", "undetected", "IDDQ-only"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Non-cat variant renders too.
+	buf.Reset()
+	Fig3(&buf, sampleMacroRun(), true)
+	if !strings.Contains(buf.String(), "non-catastrophic") {
+		t.Fatal("non-cat label missing")
+	}
+}
+
+func TestGlobalAndPerMacroRender(t *testing.T) {
+	run := &core.Run{Macros: []*core.MacroRun{sampleMacroRun()}}
+	var buf bytes.Buffer
+	Global(&buf, "Fig 4: test", run)
+	out := buf.String()
+	if !strings.Contains(out, "catastrophic") || !strings.Contains(out, "total") {
+		t.Fatalf("global render:\n%s", out)
+	}
+	buf.Reset()
+	PerMacro(&buf, run)
+	if !strings.Contains(buf.String(), "comparator") {
+		t.Fatal("per-macro render missing macro")
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	run := &core.Run{Macros: []*core.MacroRun{sampleMacroRun()}}
+	data, err := JSON(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded JSONRun
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Macros) != 1 || decoded.Macros[0].Name != "comparator" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded.Global.Total <= 0 {
+		t.Fatal("coverage missing in JSON")
+	}
+	if len(decoded.Macros[0].Table1) == 0 {
+		t.Fatal("table1 missing in JSON")
+	}
+}

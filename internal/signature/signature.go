@@ -1,0 +1,194 @@
+// Package signature defines the macro-level fault signatures of the
+// methodology: the voltage-signature categories of the paper's Table 2
+// (Output Stuck-At, Offset, Mixed, Clock value, No deviation), the named
+// current measurements of Table 3 (IVdd, IDDQ, Iinput per clock phase and
+// input level), and the multi-dimensional good-signature space — the 3σ
+// envelope of the fault-free circuit over process, supply, temperature and
+// leakage variation — against which a faulty response must stand out to be
+// detected.
+package signature
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// VoltageSig is the macro-level voltage signature category (paper Table 2).
+type VoltageSig int
+
+const (
+	// VSigNone: the response is indistinguishable from fault-free.
+	VSigNone VoltageSig = iota
+	// VSigStuck: the macro output is stuck at one value.
+	VSigStuck
+	// VSigOffset: the comparator trips at an offset > 8 mV (1 LSB).
+	VSigOffset
+	// VSigMixed: erratic behaviour — invalid levels, inverted decisions,
+	// or simulator-diagnosed gross malfunction.
+	VSigMixed
+	// VSigClock: the macro behaves correctly but a clock-generator output
+	// level deviates (faults on the clock distribution lines).
+	VSigClock
+	numVSigs
+)
+
+// NumVoltageSigs counts the categories.
+const NumVoltageSigs = int(numVSigs)
+
+// String implements fmt.Stringer with the paper's Table 2 row names.
+func (v VoltageSig) String() string {
+	switch v {
+	case VSigNone:
+		return "No deviations"
+	case VSigStuck:
+		return "Output Stuck At"
+	case VSigOffset:
+		return "Offset (> 8mV)"
+	case VSigMixed:
+		return "Mixed"
+	case VSigClock:
+		return "Clock value"
+	}
+	return fmt.Sprintf("VSig(%d)", int(v))
+}
+
+// Current-measurement key prefixes; the full key is e.g. "ivdd.sample.lo"
+// (analog supply current, sampling phase, input below all references).
+const (
+	KeyIVdd   = "ivdd"
+	KeyIDDQ   = "iddq"
+	KeyIinput = "iin"
+)
+
+// Category extracts the detection-mechanism prefix of a measurement key.
+func Category(key string) string {
+	if i := strings.IndexByte(key, '.'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// Response is a macro's complete simulated response to one (possibly
+// absent) fault: the classified voltage signature plus every named current
+// measurement.
+type Response struct {
+	// Voltage is the macro-level voltage signature.
+	Voltage VoltageSig
+	// OffsetV is the input-referred offset (comparator) or worst tap
+	// deviation (ladder) in volts; meaningful when Voltage is VSigOffset
+	// or VSigNone.
+	OffsetV float64
+	// StuckVal is the stuck decision (0/1) when Voltage is VSigStuck.
+	StuckVal int
+	// Currents holds the named current measurements in amperes.
+	Currents map[string]float64
+	// CommonMode marks a deviation shared by every instance of the macro
+	// (e.g. a bias shift): it moves the whole transfer curve without
+	// creating missing codes.
+	CommonMode bool
+	// MissingCode is the propagated circuit-edge voltage observation:
+	// whether the fault causes the missing-code test to fail. Macros set
+	// it by plugging their faulty behaviour into the high-level ADC
+	// model (the paper's sensitisation/propagation step).
+	MissingCode bool
+	// SimError records an analysis failure (e.g. Newton breakdown with a
+	// violent fault); such responses are classified VSigMixed upstream.
+	SimError error
+}
+
+// Keys returns the sorted measurement keys.
+func (r *Response) Keys() []string {
+	out := make([]string, 0, len(r.Currents))
+	for k := range r.Currents {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GoodSpace is the fault-free envelope: per-measurement mean and standard
+// deviation compiled from a Monte Carlo over environmental conditions
+// (process, supply voltage, temperature — plus the flipflop leakage spread
+// that dominates the sampling-phase IVdd bound before the DfT redesign).
+type GoodSpace struct {
+	Mean  map[string]float64
+	Sigma map[string]float64
+	// NSigma is the detection threshold multiple (3 in the paper).
+	NSigma float64
+	// FloorA is the measurement floor in amperes: deviations below it are
+	// never considered detectable regardless of how small sigma is
+	// (tester resolution).
+	FloorA float64
+}
+
+// Compile builds a GoodSpace from fault-free Monte Carlo responses.
+func Compile(samples []*Response, nSigma, floorA float64) *GoodSpace {
+	g := &GoodSpace{
+		Mean:   map[string]float64{},
+		Sigma:  map[string]float64{},
+		NSigma: nSigma,
+		FloorA: floorA,
+	}
+	if len(samples) == 0 {
+		return g
+	}
+	counts := map[string]int{}
+	for _, s := range samples {
+		for k, v := range s.Currents {
+			g.Mean[k] += v
+			counts[k]++
+		}
+	}
+	for k := range g.Mean {
+		g.Mean[k] /= float64(counts[k])
+	}
+	for _, s := range samples {
+		for k, v := range s.Currents {
+			d := v - g.Mean[k]
+			g.Sigma[k] += d * d
+		}
+	}
+	for k := range g.Sigma {
+		if counts[k] > 1 {
+			g.Sigma[k] = math.Sqrt(g.Sigma[k] / float64(counts[k]-1))
+		} else {
+			g.Sigma[k] = 0
+		}
+	}
+	return g
+}
+
+// Threshold returns the detection threshold for measurement key k:
+// max(NSigma·σ(k), FloorA).
+func (g *GoodSpace) Threshold(k string) float64 {
+	t := g.NSigma * g.Sigma[k]
+	if t < g.FloorA {
+		t = g.FloorA
+	}
+	return t
+}
+
+// DetectedBy returns, per mechanism category ("ivdd", "iddq", "iin"),
+// whether the faulty response deviates from the good space by more than
+// the threshold in any measurement of that category.
+func (g *GoodSpace) DetectedBy(faulty *Response) map[string]bool {
+	out := map[string]bool{}
+	for k, v := range faulty.Currents {
+		mean, ok := g.Mean[k]
+		if !ok {
+			continue
+		}
+		if math.Abs(v-mean) > g.Threshold(k) {
+			out[Category(k)] = true
+		}
+	}
+	return out
+}
+
+// Detect is a convenience wrapper returning the three standard mechanisms.
+func (g *GoodSpace) Detect(faulty *Response) (ivdd, iddq, iin bool) {
+	m := g.DetectedBy(faulty)
+	return m[KeyIVdd], m[KeyIDDQ], m[KeyIinput]
+}

@@ -1,0 +1,163 @@
+package signature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVoltageSigStrings(t *testing.T) {
+	want := map[VoltageSig]string{
+		VSigNone:   "No deviations",
+		VSigStuck:  "Output Stuck At",
+		VSigOffset: "Offset (> 8mV)",
+		VSigMixed:  "Mixed",
+		VSigClock:  "Clock value",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(v), v.String(), s)
+		}
+	}
+	if VoltageSig(42).String() == "" {
+		t.Error("unknown sig")
+	}
+}
+
+func TestCategory(t *testing.T) {
+	if Category("ivdd.sample.lo") != "ivdd" {
+		t.Fatal("prefix")
+	}
+	if Category("iddq") != "iddq" {
+		t.Fatal("bare key")
+	}
+}
+
+func TestResponseKeysSorted(t *testing.T) {
+	r := &Response{Currents: map[string]float64{"b": 1, "a": 2}}
+	ks := r.Keys()
+	if len(ks) != 2 || ks[0] != "a" || ks[1] != "b" {
+		t.Fatalf("Keys = %v", ks)
+	}
+}
+
+func TestCompileMeanSigma(t *testing.T) {
+	samples := []*Response{
+		{Currents: map[string]float64{"ivdd.a": 1.0}},
+		{Currents: map[string]float64{"ivdd.a": 2.0}},
+		{Currents: map[string]float64{"ivdd.a": 3.0}},
+	}
+	g := Compile(samples, 3, 0)
+	if math.Abs(g.Mean["ivdd.a"]-2.0) > 1e-12 {
+		t.Fatalf("mean = %g", g.Mean["ivdd.a"])
+	}
+	if math.Abs(g.Sigma["ivdd.a"]-1.0) > 1e-12 {
+		t.Fatalf("sigma = %g", g.Sigma["ivdd.a"])
+	}
+	if th := g.Threshold("ivdd.a"); math.Abs(th-3.0) > 1e-12 {
+		t.Fatalf("threshold = %g", th)
+	}
+}
+
+func TestCompileEmpty(t *testing.T) {
+	g := Compile(nil, 3, 1e-6)
+	if g.Threshold("anything") != 1e-6 {
+		t.Fatal("floor must apply with no data")
+	}
+	if d := g.DetectedBy(&Response{Currents: map[string]float64{"ivdd.x": 1}}); len(d) != 0 {
+		t.Fatal("unknown keys must not detect")
+	}
+}
+
+func TestFloorDominates(t *testing.T) {
+	samples := []*Response{
+		{Currents: map[string]float64{"iddq.s": 1e-9}},
+		{Currents: map[string]float64{"iddq.s": 1.1e-9}},
+	}
+	g := Compile(samples, 3, 1e-6)
+	// 3σ would be tiny; the floor must win.
+	if th := g.Threshold("iddq.s"); th != 1e-6 {
+		t.Fatalf("threshold = %g, want floor 1e-6", th)
+	}
+}
+
+func TestDetect(t *testing.T) {
+	var samples []*Response
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		samples = append(samples, &Response{Currents: map[string]float64{
+			"ivdd.sample.lo": 1e-3 + rng.NormFloat64()*1e-5,
+			"iddq.sample.lo": 1e-9 + rng.NormFloat64()*1e-10,
+			"iin.lo":         1e-6 + rng.NormFloat64()*1e-8,
+		}})
+	}
+	g := Compile(samples, 3, 1e-7)
+	// A response well inside the space: undetected.
+	ok := &Response{Currents: map[string]float64{
+		"ivdd.sample.lo": 1e-3, "iddq.sample.lo": 1e-9, "iin.lo": 1e-6,
+	}}
+	if ivdd, iddq, iin := g.Detect(ok); ivdd || iddq || iin {
+		t.Fatal("nominal response must not be detected")
+	}
+	// IVdd way out.
+	bad := &Response{Currents: map[string]float64{
+		"ivdd.sample.lo": 5e-3, "iddq.sample.lo": 1e-9, "iin.lo": 1e-6,
+	}}
+	ivdd, iddq, iin := g.Detect(bad)
+	if !ivdd || iddq || iin {
+		t.Fatalf("detection = %v %v %v, want ivdd only", ivdd, iddq, iin)
+	}
+	// IDDQ above the floor.
+	badQ := &Response{Currents: map[string]float64{
+		"ivdd.sample.lo": 1e-3, "iddq.sample.lo": 1e-3, "iin.lo": 1e-6,
+	}}
+	if _, iddq, _ := g.Detect(badQ); !iddq {
+		t.Fatal("elevated IDDQ must detect")
+	}
+}
+
+// Property: Compile of constant samples yields zero sigma and mean equal
+// to the constant; any deviation beyond the floor is detected.
+func TestQuickCompileConstant(t *testing.T) {
+	f := func(vRaw int16, n uint8) bool {
+		v := float64(vRaw) / 1000
+		count := int(n%20) + 2
+		var samples []*Response
+		for i := 0; i < count; i++ {
+			samples = append(samples, &Response{Currents: map[string]float64{"ivdd.k": v}})
+		}
+		g := Compile(samples, 3, 1e-9)
+		if math.Abs(g.Mean["ivdd.k"]-v) > 1e-12 || g.Sigma["ivdd.k"] > 1e-12 {
+			return false
+		}
+		dev := &Response{Currents: map[string]float64{"ivdd.k": v + 1e-6}}
+		return g.DetectedBy(dev)["ivdd"]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: detection is monotone — scaling a deviation up never turns a
+// detected response into an undetected one.
+func TestQuickDetectionMonotone(t *testing.T) {
+	samples := []*Response{
+		{Currents: map[string]float64{"ivdd.k": 0.9e-3}},
+		{Currents: map[string]float64{"ivdd.k": 1.1e-3}},
+	}
+	g := Compile(samples, 3, 1e-8)
+	f := func(dRaw int16, scaleRaw uint8) bool {
+		d := float64(dRaw) / 1e6
+		scale := 1 + float64(scaleRaw%10)
+		small := &Response{Currents: map[string]float64{"ivdd.k": g.Mean["ivdd.k"] + d}}
+		big := &Response{Currents: map[string]float64{"ivdd.k": g.Mean["ivdd.k"] + d*scale}}
+		if g.DetectedBy(small)["ivdd"] && !g.DetectedBy(big)["ivdd"] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

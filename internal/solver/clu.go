@@ -1,0 +1,81 @@
+package solver
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CMatrix is a dense row-major complex matrix for the AC (small-signal)
+// analysis.
+type CMatrix struct {
+	N int
+	A []complex128
+}
+
+// NewCMatrix returns an n×n zero complex matrix.
+func NewCMatrix(n int) *CMatrix {
+	return &CMatrix{N: n, A: make([]complex128, n*n)}
+}
+
+// At returns element (i, j).
+func (m *CMatrix) At(i, j int) complex128 { return m.A[i*m.N+j] }
+
+// Add accumulates into element (i, j).
+func (m *CMatrix) Add(i, j int, v complex128) { m.A[i*m.N+j] += v }
+
+// Zero clears all entries.
+func (m *CMatrix) Zero() {
+	for i := range m.A {
+		m.A[i] = 0
+	}
+}
+
+// CSolve factors m in place (with partial pivoting) and solves m·x = b.
+// m and b are both clobbered; x aliases b's storage.
+func CSolve(m *CMatrix, b []complex128) ([]complex128, error) {
+	n := m.N
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	a := m.A
+	const tiny = 1e-300
+	for k := 0; k < n; k++ {
+		p, max := k, cmplx.Abs(a[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(a[i*n+k]); v > max {
+				p, max = i, v
+			}
+		}
+		if max < tiny {
+			return nil, fmt.Errorf("%w: complex pivot %d", ErrSingular, k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				a[k*n+j], a[p*n+j] = a[p*n+j], a[k*n+j]
+			}
+			b[k], b[p] = b[p], b[k]
+		}
+		pivot := a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := a[i*n+k] / pivot
+			if l == 0 {
+				continue
+			}
+			a[i*n+k] = l
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= l * a[k*n+j]
+			}
+			b[i] -= l * b[k]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*n+j] * b[j]
+		}
+		b[i] = s / a[i*n+i]
+	}
+	return b, nil
+}

@@ -1,0 +1,182 @@
+// Package solver provides the dense linear-algebra kernel of the analog
+// simulator: LU factorisation with partial pivoting and triangular solves.
+// MNA matrices of macro-cell circuits are small (tens of unknowns), so a
+// dense solver is both simpler and faster than a sparse one here.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when factorisation encounters a pivot that is
+// numerically zero.
+var ErrSingular = errors.New("solver: matrix is singular")
+
+// Matrix is a dense row-major square matrix.
+type Matrix struct {
+	N int
+	A []float64
+}
+
+// NewMatrix returns an n×n zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, A: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.A[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.A[i*m.N+j] = v }
+
+// Add accumulates into element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.A[i*m.N+j] += v }
+
+// Zero clears all entries (retaining the allocation).
+func (m *Matrix) Zero() {
+	for i := range m.A {
+		m.A[i] = 0
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.A, m.A)
+	return c
+}
+
+// MulVec computes y = m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	y := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		var s float64
+		row := m.A[i*m.N : (i+1)*m.N]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// String formats the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			s += fmt.Sprintf("%12.4g ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// LU holds an in-place LU factorisation with a pivot permutation.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// Factor computes the LU factorisation of m with partial pivoting. m is not
+// modified. Returns ErrSingular if a pivot magnitude falls below tiny.
+func Factor(m *Matrix) (*LU, error) {
+	n := m.N
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	copy(f.lu, m.A)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	const tiny = 1e-300
+	for k := 0; k < n; k++ {
+		// Pivot search in column k.
+		p, max := k, math.Abs(f.lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(f.lu[i*n+k]); a > max {
+				p, max = i, a
+			}
+		}
+		if max < tiny {
+			return nil, fmt.Errorf("%w: pivot %d (|p|=%g)", ErrSingular, k, max)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				f.lu[k*n+j], f.lu[p*n+j] = f.lu[p*n+j], f.lu[k*n+j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := f.lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := f.lu[i*n+k] / pivot
+			f.lu[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				f.lu[i*n+j] -= l * f.lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve returns x with A·x = b for the factored A. b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.n
+	x := make([]float64, n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += f.lu[i*n+j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu[i*n+j] * x[j]
+		}
+		x[i] = (x[i] - s) / f.lu[i*n+i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveSystem factors m and solves m·x = b in one call.
+func SolveSystem(m *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(m)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// NormInf returns the infinity norm of the vector v.
+func NormInf(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,118 @@
+// Package spectest models the specification-oriented production test the
+// paper argues against: a full static-performance verification of the
+// converter (offset error, gain error, INL, DNL, missing codes via a
+// dense histogram test, plus a dynamic SNR test). It serves as the
+// baseline for the paper's §1/§4 claim that the defect-oriented simple
+// test reaches *higher* defect coverage at *lower* test cost:
+// specification tests are blind to faults that only disturb quiescent
+// currents (the IDDQ-detected population) while costing far more tester
+// time.
+package spectest
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/signature"
+)
+
+// Limits are the data-sheet acceptance limits of the static test.
+type Limits struct {
+	// INL and DNL limits in LSB.
+	INL, DNL float64
+	// OffsetLSB is the allowed transfer-curve offset error in LSB.
+	OffsetLSB float64
+	// MissingCodes rejects any missing code.
+	MissingCodes bool
+}
+
+// DefaultLimits returns typical 8-bit video-ADC data-sheet limits.
+func DefaultLimits() Limits {
+	return Limits{INL: 0.5, DNL: 0.5, OffsetLSB: 0.5, MissingCodes: true}
+}
+
+// Plan models the tester cost of the specification-oriented flow.
+type Plan struct {
+	// HistogramSamples drives the INL/DNL/missing-code histogram test.
+	HistogramSamples int
+	// SNRSamples drives the dynamic (FFT) test.
+	SNRSamples int
+	// SampleRate is the conversion rate (Hz).
+	SampleRate float64
+	// StaticMeasurements counts settled DC spec measurements (offset,
+	// gain, reference currents).
+	StaticMeasurements int
+	// SettleTime per static measurement.
+	SettleTime time.Duration
+	// ProcessingTime is the tester-side computation (histogram + FFT).
+	ProcessingTime time.Duration
+}
+
+// DefaultPlan returns a representative specification test plan: a 64×
+// oversampled histogram plus an 8 k-point FFT and four settled static
+// measurements.
+func DefaultPlan() Plan {
+	return Plan{
+		HistogramSamples:   64 * 257,
+		SNRSamples:         8192,
+		SampleRate:         20e6,
+		StaticMeasurements: 4,
+		SettleTime:         100 * time.Microsecond,
+		ProcessingTime:     2 * time.Millisecond,
+	}
+}
+
+// Total returns the specification test time.
+func (p Plan) Total() time.Duration {
+	conv := time.Duration(float64(p.HistogramSamples+p.SNRSamples) / p.SampleRate * float64(time.Second))
+	return conv + time.Duration(p.StaticMeasurements)*p.SettleTime + p.ProcessingTime
+}
+
+// String summarises the plan.
+func (p Plan) String() string {
+	return fmt.Sprintf("histogram %d + FFT %d samples @ %.0f MS/s, %d static meas × %v, %v processing = %v",
+		p.HistogramSamples, p.SNRSamples, p.SampleRate/1e6,
+		p.StaticMeasurements, p.SettleTime, p.ProcessingTime, p.Total())
+}
+
+// lsb of the case-study converter (2 V / 256).
+const lsb = 2.0 / 256
+
+// Detects decides whether the specification-oriented static test catches
+// a fault with the given macro-level response. The specification test
+// observes only the converter's transfer curve: missing codes, INL/DNL
+// beyond limits, and offset error. It cannot observe supply or input
+// currents — the faults the paper found detectable *only* by IVdd/IDDQ
+// measurements escape it.
+func Detects(resp *signature.Response, lim Limits) bool {
+	if resp == nil {
+		return false
+	}
+	if lim.MissingCodes && resp.MissingCode {
+		return true
+	}
+	switch resp.Voltage {
+	case signature.VSigStuck, signature.VSigMixed:
+		// Gross transfer-curve corruption always violates INL/DNL.
+		return true
+	case signature.VSigOffset:
+		off := math.Abs(resp.OffsetV) / lsb
+		if resp.CommonMode {
+			// A common shift is an offset error.
+			return off > lim.OffsetLSB
+		}
+		// A single-slice offset is a local INL/DNL error.
+		return off > lim.DNL
+	case signature.VSigNone:
+		// Sub-threshold offsets may still trip the tighter INL/DNL
+		// limits of the specification test.
+		off := math.Abs(resp.OffsetV) / lsb
+		if resp.CommonMode {
+			return off > lim.OffsetLSB
+		}
+		return off > lim.DNL
+	}
+	// Clock-value deviations don't move the (static) transfer curve.
+	return false
+}

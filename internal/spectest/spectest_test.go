@@ -1,0 +1,65 @@
+package spectest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/signature"
+)
+
+func TestPlanTimes(t *testing.T) {
+	p := DefaultPlan()
+	// (64·257 + 8192)/20e6 s + 4·100µs + 2ms ≈ 3.6 ms.
+	tot := p.Total()
+	if tot < 2*time.Millisecond || tot > 10*time.Millisecond {
+		t.Fatalf("spec test total = %v", tot)
+	}
+	if p.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestSpecSlowerThanSimpleTest(t *testing.T) {
+	// The paper's claim: the defect-oriented simple test is cheaper.
+	// Simple test ≈ 650 µs, specification test milliseconds.
+	if DefaultPlan().Total() < 2*650*time.Microsecond {
+		t.Fatal("spec test must cost several times the simple test")
+	}
+}
+
+func TestDetects(t *testing.T) {
+	lim := DefaultLimits()
+	cases := []struct {
+		name string
+		resp *signature.Response
+		want bool
+	}{
+		{"nil", nil, false},
+		{"missing code", &signature.Response{MissingCode: true}, true},
+		{"stuck", &signature.Response{Voltage: signature.VSigStuck}, true},
+		{"mixed", &signature.Response{Voltage: signature.VSigMixed}, true},
+		{"big slice offset", &signature.Response{Voltage: signature.VSigOffset, OffsetV: 6e-3}, true},
+		{"sub-LSB slice offset above DNL limit", &signature.Response{Voltage: signature.VSigNone, OffsetV: 5e-3}, true},
+		{"tiny offset", &signature.Response{Voltage: signature.VSigNone, OffsetV: 1e-3}, false},
+		{"clock value only", &signature.Response{Voltage: signature.VSigClock}, false},
+		{"common-mode small", &signature.Response{Voltage: signature.VSigOffset, OffsetV: 3e-3, CommonMode: true}, false},
+		{"common-mode large", &signature.Response{Voltage: signature.VSigOffset, OffsetV: 9e-3, CommonMode: true}, true},
+	}
+	for _, c := range cases {
+		if got := Detects(c.resp, lim); got != c.want {
+			t.Errorf("%s: Detects = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSpecBlindToCurrentOnlyFaults(t *testing.T) {
+	// The structural point: an IDDQ-only fault (clock-line short that
+	// leaves the transfer curve intact) escapes the specification test.
+	resp := &signature.Response{
+		Voltage:  signature.VSigClock,
+		Currents: map[string]float64{"iddq.samp.lo": 5e-3},
+	}
+	if Detects(resp, DefaultLimits()) {
+		t.Fatal("spec test must not see quiescent-current-only faults")
+	}
+}

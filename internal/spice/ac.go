@@ -1,0 +1,114 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/netlist"
+	"repro/internal/solver"
+)
+
+// ACSolution holds the complex node voltages at one frequency.
+type ACSolution struct {
+	e    *Engine
+	Freq float64
+	X    []complex128
+}
+
+// V returns the complex small-signal voltage of the named node.
+func (s *ACSolution) V(name string) complex128 {
+	id, ok := s.e.Ckt.NodeByName(name)
+	if !ok {
+		panic(fmt.Sprintf("spice: unknown node %q", name))
+	}
+	if id == netlist.Ground {
+		return 0
+	}
+	return s.X[int(id)-1]
+}
+
+// MagDB returns the magnitude of the named node in decibels.
+func (s *ACSolution) MagDB(name string) float64 {
+	return 20 * math.Log10(cmplx.Abs(s.V(name)))
+}
+
+// AC performs a small-signal analysis at the given frequencies: the
+// circuit is linearised around op (typically from Engine.OP), the element
+// named source provides a unit-magnitude excitation, and the complex MNA
+// system is solved per frequency.
+func (e *Engine) AC(op *Solution, source string, freqs []float64) ([]*ACSolution, error) {
+	if _, ok := e.auxOf[source]; !ok {
+		// Current-source excitations have no aux; verify existence.
+		if e.Ckt.Element(source) == nil {
+			return nil, fmt.Errorf("spice: AC source %q not found", source)
+		}
+	}
+	out := make([]*ACSolution, 0, len(freqs))
+	for _, f := range freqs {
+		a := solver.NewCMatrix(e.nUnknowns)
+		b := make([]complex128, e.nUnknowns)
+		ctx := &netlist.ACContext{
+			Omega:  2 * math.Pi * f,
+			Source: source,
+			X: func(n netlist.NodeID) float64 {
+				if n == netlist.Ground {
+					return 0
+				}
+				return op.X[int(n)-1]
+			},
+			A: a.Add,
+			B: func(i int, v complex128) { b[i] += v },
+		}
+		for i, el := range e.Ckt.Elems {
+			ac, ok := el.(netlist.ACStamper)
+			if !ok {
+				return nil, fmt.Errorf("spice: element %s has no AC model", el.Name())
+			}
+			ac.StampAC(ctx, e.auxBase[i])
+		}
+		// The same tiny node leak as the large-signal analyses keeps
+		// AC-floating nodes solvable.
+		for i := 0; i < e.nNodeVars; i++ {
+			a.Add(i, i, 1e-12)
+		}
+		x, err := solver.CSolve(a, b)
+		if err != nil {
+			return nil, fmt.Errorf("spice: AC at %g Hz: %w", f, err)
+		}
+		out = append(out, &ACSolution{e: e, Freq: f, X: x})
+	}
+	return out, nil
+}
+
+// LogSpace returns n logarithmically spaced frequencies from f0 to f1.
+func LogSpace(f0, f1 float64, n int) []float64 {
+	if n < 2 {
+		return []float64{f0}
+	}
+	out := make([]float64, n)
+	l0, l1 := math.Log10(f0), math.Log10(f1)
+	for i := range out {
+		out[i] = math.Pow(10, l0+(l1-l0)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// Bandwidth3dB locates the -3 dB frequency of the named node relative to
+// its lowest-frequency magnitude, by log-sweeping [f0, f1]. Returns the
+// first frequency where the response has fallen 3 dB (or f1 if it never
+// does).
+func (e *Engine) Bandwidth3dB(op *Solution, source, node string, f0, f1 float64) (float64, error) {
+	freqs := LogSpace(f0, f1, 61)
+	sols, err := e.AC(op, source, freqs)
+	if err != nil {
+		return 0, err
+	}
+	ref := sols[0].MagDB(node)
+	for _, s := range sols {
+		if s.MagDB(node) < ref-3 {
+			return s.Freq, nil
+		}
+	}
+	return f1, nil
+}

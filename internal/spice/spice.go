@@ -1,0 +1,396 @@
+// Package spice is the analog simulation engine of the reproduction: a
+// modified-nodal-analysis (MNA) solver over the circuits of
+// internal/netlist. It provides the two analyses the defect-oriented test
+// path needs — a robust DC operating point (Newton–Raphson with gmin
+// stepping and source stepping fallbacks) and a fixed-step backward-Euler
+// transient — plus branch-current measurement through voltage sources,
+// which is how the methodology's IVdd/IDDQ/Iinput observations are made.
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/netlist"
+	"repro/internal/solver"
+)
+
+// ErrNoConvergence is returned when every convergence aid is exhausted.
+var ErrNoConvergence = errors.New("spice: no convergence")
+
+// Options tune the solver.
+type Options struct {
+	// AbsTol/RelTol terminate Newton iteration on voltage deltas.
+	AbsTol, RelTol float64
+	// MaxIter bounds Newton iterations per solve.
+	MaxIter int
+	// Gmin is the baseline convergence conductance at nonlinear devices.
+	Gmin float64
+	// MaxStep clamps per-node Newton voltage updates (damping).
+	MaxStep float64
+}
+
+// DefaultOptions returns robust settings for 5 V macro-cell circuits.
+func DefaultOptions() Options {
+	return Options{AbsTol: 1e-6, RelTol: 1e-4, MaxIter: 150, Gmin: 1e-12, MaxStep: 1.0}
+}
+
+// Engine binds a circuit to the MNA solver.
+type Engine struct {
+	Ckt *netlist.Circuit
+	Opt Options
+
+	nUnknowns int
+	nNodeVars int
+	auxBase   []int          // per element index
+	auxOf     map[string]int // vsource name -> aux index
+}
+
+// New prepares an engine for the circuit.
+func New(ckt *netlist.Circuit, opt Options) *Engine {
+	e := &Engine{Ckt: ckt, Opt: opt, auxOf: map[string]int{}}
+	e.nNodeVars = ckt.NumNodes() - 1
+	next := e.nNodeVars
+	e.auxBase = make([]int, len(ckt.Elems))
+	for i, el := range ckt.Elems {
+		e.auxBase[i] = next
+		if n := el.NumAux(); n > 0 {
+			e.auxOf[el.Name()] = next
+			next += n
+		}
+	}
+	e.nUnknowns = next
+	return e
+}
+
+// Solution is a solved vector of node voltages and branch currents.
+type Solution struct {
+	e *Engine
+	X []float64
+}
+
+// V returns the voltage of the named node.
+func (s *Solution) V(name string) float64 {
+	id, ok := s.e.Ckt.NodeByName(name)
+	if !ok {
+		panic(fmt.Sprintf("spice: unknown node %q", name))
+	}
+	return s.VNode(id)
+}
+
+// VNode returns the voltage of node n.
+func (s *Solution) VNode(n netlist.NodeID) float64 {
+	if n == netlist.Ground {
+		return 0
+	}
+	return s.X[int(n)-1]
+}
+
+// I returns the current delivered by the named voltage source out of its
+// + terminal into the circuit. For a supply "vdd"→ground powering a load,
+// I is positive and equals the supply current drawn.
+func (s *Solution) I(vsrc string) float64 {
+	aux, ok := s.e.auxOf[vsrc]
+	if !ok {
+		panic(fmt.Sprintf("spice: no aux current for element %q", vsrc))
+	}
+	// MNA aux is the branch current flowing from + through the source
+	// to −; the current delivered to the external circuit is −aux.
+	return -s.X[aux]
+}
+
+// assemble builds the linearised MNA system at iterate x.
+func (e *Engine) assemble(a *solver.Matrix, b []float64, x, xPrev []float64,
+	mode netlist.StampMode, time, dt, gmin, srcScale float64) {
+	a.Zero()
+	for i := range b {
+		b[i] = 0
+	}
+	ctx := &netlist.Context{
+		Mode:     mode,
+		Time:     time,
+		Dt:       dt,
+		SrcScale: srcScale,
+		Gmin:     gmin,
+		X: func(n netlist.NodeID) float64 {
+			if n == netlist.Ground {
+				return 0
+			}
+			return x[int(n)-1]
+		},
+		XPrev: func(n netlist.NodeID) float64 {
+			if n == netlist.Ground {
+				return 0
+			}
+			return xPrev[int(n)-1]
+		},
+		A: a.Add,
+		B: func(i int, v float64) { b[i] += v },
+	}
+	for i, el := range e.Ckt.Elems {
+		el.Stamp(ctx, e.auxBase[i])
+	}
+	// A tiny leak at every node keeps floating subcircuits solvable
+	// (split nets from open faults, gates of off devices, …).
+	const leak = 1e-12
+	for i := 0; i < e.nNodeVars; i++ {
+		a.Add(i, i, leak)
+	}
+}
+
+// newton runs Newton–Raphson from x0. Returns the converged vector.
+func (e *Engine) newton(x0, xPrev []float64, mode netlist.StampMode,
+	time, dt, gmin, srcScale float64) ([]float64, error) {
+	n := e.nUnknowns
+	x := append([]float64(nil), x0...)
+	a := solver.NewMatrix(n)
+	b := make([]float64, n)
+	for iter := 0; iter < e.Opt.MaxIter; iter++ {
+		e.assemble(a, b, x, xPrev, mode, time, dt, gmin, srcScale)
+		lu, err := solver.Factor(a)
+		if err != nil {
+			return nil, fmt.Errorf("iter %d: %w", iter, err)
+		}
+		xNew := lu.Solve(b)
+		// Damp node-voltage updates; leave branch currents free.
+		conv := true
+		for i := 0; i < n; i++ {
+			dx := xNew[i] - x[i]
+			if i < e.nNodeVars {
+				if dx > e.Opt.MaxStep {
+					dx = e.Opt.MaxStep
+					conv = false
+				} else if dx < -e.Opt.MaxStep {
+					dx = -e.Opt.MaxStep
+					conv = false
+				}
+				if math.Abs(dx) > e.Opt.AbsTol+e.Opt.RelTol*math.Abs(x[i]) {
+					conv = false
+				}
+			} else {
+				if math.Abs(dx) > 1e-9+e.Opt.RelTol*math.Abs(x[i]) {
+					conv = false
+				}
+			}
+			x[i] += dx
+		}
+		if conv {
+			return x, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// OP computes the DC operating point at t = 0.
+func (e *Engine) OP() (*Solution, error) {
+	return e.OPAt(0)
+}
+
+// OPAt computes the DC operating point with time-dependent sources
+// evaluated at the given time (capacitors open).
+func (e *Engine) OPAt(time float64) (*Solution, error) {
+	zero := make([]float64, e.nUnknowns)
+
+	// 1. Plain Newton from zero.
+	if x, err := e.newton(zero, zero, netlist.DCOp, time, 0, e.Opt.Gmin, 1); err == nil {
+		return &Solution{e: e, X: x}, nil
+	}
+
+	// 2. Gmin stepping.
+	x := zero
+	ok := true
+	for g := 1e-2; g >= e.Opt.Gmin; g /= 10 {
+		nx, err := e.newton(x, zero, netlist.DCOp, time, 0, g, 1)
+		if err != nil {
+			ok = false
+			break
+		}
+		x = nx
+	}
+	if ok {
+		if fx, err := e.newton(x, zero, netlist.DCOp, time, 0, e.Opt.Gmin, 1); err == nil {
+			return &Solution{e: e, X: fx}, nil
+		}
+	}
+
+	// 3. Source stepping.
+	x = zero
+	for s := 0.05; ; s += 0.05 {
+		if s > 1 {
+			s = 1
+		}
+		nx, err := e.newton(x, zero, netlist.DCOp, time, 0, e.Opt.Gmin, s)
+		if err != nil {
+			// Retry the failed rung with elevated gmin before giving up.
+			nx, err = e.newton(x, zero, netlist.DCOp, time, 0, 1e-6, s)
+			if err != nil {
+				return nil, fmt.Errorf("%w (source stepping stalled at %.2f)", ErrNoConvergence, s)
+			}
+		}
+		x = nx
+		if s >= 1 {
+			return &Solution{e: e, X: x}, nil
+		}
+	}
+}
+
+// Tran is a transient result: solution snapshots at every accepted step.
+type Tran struct {
+	e     *Engine
+	Times []float64
+	Xs    [][]float64
+}
+
+// Len returns the number of stored timepoints.
+func (t *Tran) Len() int { return len(t.Times) }
+
+// At returns the solution at stored index i.
+func (t *Tran) At(i int) *Solution { return &Solution{e: t.e, X: t.Xs[i]} }
+
+// AtTime returns the last stored solution with time <= tm (or the first).
+func (t *Tran) AtTime(tm float64) *Solution {
+	lo := 0
+	for i, tt := range t.Times {
+		if tt <= tm {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return t.At(lo)
+}
+
+// V returns the waveform of the named node.
+func (t *Tran) V(name string) []float64 {
+	out := make([]float64, t.Len())
+	for i := range t.Xs {
+		out[i] = t.At(i).V(name)
+	}
+	return out
+}
+
+// I returns the delivered-current waveform of the named voltage source.
+func (t *Tran) I(vsrc string) []float64 {
+	out := make([]float64, t.Len())
+	for i := range t.Xs {
+		out[i] = t.At(i).I(vsrc)
+	}
+	return out
+}
+
+// MeanBetween averages samples of w (a waveform aligned with t.Times) over
+// the window [t0, t1].
+func (t *Tran) MeanBetween(w []float64, t0, t1 float64) float64 {
+	var sum float64
+	var n int
+	for i, tt := range t.Times {
+		if tt >= t0 && tt <= t1 {
+			sum += w[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// TranSeg is one segment of a piecewise-timestep transient: integrate with
+// step Dt until time Until.
+type TranSeg struct {
+	Until, Dt float64
+}
+
+// Transient runs a fixed-step backward-Euler transient from t = 0 to
+// tstop with nominal step dt, starting from the DC operating point at
+// t = 0. When a step fails to converge it is retried with up to 64× local
+// step refinement.
+func (e *Engine) Transient(tstop, dt float64) (*Tran, error) {
+	return e.TransientSchedule([]TranSeg{{Until: tstop, Dt: dt}})
+}
+
+// TransientSchedule runs a backward-Euler transient with a piecewise
+// timestep schedule. Fast regenerative windows (latch onset) use fine
+// steps while quiet phases use coarse ones — backward Euler artificially
+// damps unstable (regenerative) modes when h·λ is large, so the latch
+// decision window must be resolved finely.
+func (e *Engine) TransientSchedule(segs []TranSeg) (*Tran, error) {
+	op, err := e.OP()
+	if err != nil {
+		return nil, fmt.Errorf("transient initial OP: %w", err)
+	}
+	tr := &Tran{e: e}
+	x := op.X
+	tr.Times = append(tr.Times, 0)
+	tr.Xs = append(tr.Xs, append([]float64(nil), x...))
+
+	t := 0.0
+	for _, seg := range segs {
+		if x, t, err = e.runSegment(tr, x, t, seg.Until, seg.Dt); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// runSegment advances the transient to tstop with nominal step dt,
+// appending snapshots to tr.
+func (e *Engine) runSegment(tr *Tran, x []float64, t, tstop, dt float64) ([]float64, float64, error) {
+	for t < tstop-1e-18 {
+		step := dt
+		if t+step > tstop {
+			step = tstop - t
+		}
+		nx, err := e.tranStep(x, t, step)
+		if err != nil {
+			// Local refinement: substeps at step/2^k.
+			solved := false
+			for k := 1; k <= 6 && !solved; k++ {
+				sub := step / math.Pow(2, float64(k))
+				xs := append([]float64(nil), x...)
+				tt := t
+				okAll := true
+				for i := 0; i < 1<<k; i++ {
+					nxx, err2 := e.tranStep(xs, tt, sub)
+					if err2 != nil {
+						okAll = false
+						break
+					}
+					xs = nxx
+					tt += sub
+				}
+				if okAll {
+					nx = xs
+					solved = true
+				}
+			}
+			if !solved {
+				return nil, 0, fmt.Errorf("transient step at t=%g: %w", t, err)
+			}
+		}
+		t += step
+		x = nx
+		tr.Times = append(tr.Times, t)
+		tr.Xs = append(tr.Xs, append([]float64(nil), x...))
+	}
+	return x, t, nil
+}
+
+// tranStep advances one backward-Euler step of size dt from state x at
+// time t, returning the state at t+dt.
+func (e *Engine) tranStep(x []float64, t, dt float64) ([]float64, error) {
+	nx, err := e.newton(x, x, netlist.Transient, t+dt, dt, e.Opt.Gmin, 1)
+	if err == nil {
+		return nx, nil
+	}
+	// One retry with elevated gmin, then polish.
+	nx, err2 := e.newton(x, x, netlist.Transient, t+dt, dt, 1e-9, 1)
+	if err2 != nil {
+		return nil, err
+	}
+	if pol, err3 := e.newton(nx, x, netlist.Transient, t+dt, dt, e.Opt.Gmin, 1); err3 == nil {
+		return pol, nil
+	}
+	return nx, nil
+}

@@ -1,0 +1,319 @@
+package spice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+)
+
+func engineFor(b *netlist.Builder) *Engine {
+	return New(b.C, DefaultOptions())
+}
+
+func TestResistorDividerOP(t *testing.T) {
+	b := netlist.NewBuilder()
+	b.Vsrc("v1", "in", "0", netlist.DC(10))
+	b.R("r1", "in", "mid", 1000)
+	b.R("r2", "mid", "0", 1000)
+	sol, err := engineFor(b).OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol.V("mid"); math.Abs(v-5) > 1e-6 {
+		t.Fatalf("mid = %g, want 5", v)
+	}
+	// Supply delivers 10V across 2k = 5 mA.
+	if i := sol.I("v1"); math.Abs(i-5e-3) > 1e-8 {
+		t.Fatalf("I(v1) = %g, want 5e-3", i)
+	}
+}
+
+func TestCurrentSourceOP(t *testing.T) {
+	b := netlist.NewBuilder()
+	b.Isrc("i1", "0", "a", netlist.DC(1e-3)) // pushes 1 mA into node a
+	b.R("r1", "a", "0", 2000)
+	sol, err := engineFor(b).OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol.V("a"); math.Abs(v-2) > 1e-6 {
+		t.Fatalf("a = %g, want 2", v)
+	}
+}
+
+func TestCMOSInverterVTC(t *testing.T) {
+	mk := func(vin float64) *Engine {
+		b := netlist.NewBuilder()
+		b.Vsrc("vdd", "vdd", "0", netlist.DC(5))
+		b.Vsrc("vin", "in", "0", netlist.DC(vin))
+		b.PMOS("mp", "out", "in", "vdd", "vdd", 20, 1)
+		b.NMOS("mn", "out", "in", "0", 10, 1)
+		return engineFor(b)
+	}
+	lo, err := mk(5).OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := lo.V("out"); v > 0.05 {
+		t.Fatalf("out(in=5) = %g, want ~0", v)
+	}
+	hi, err := mk(0).OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := hi.V("out"); v < 4.95 {
+		t.Fatalf("out(in=0) = %g, want ~5", v)
+	}
+	// Quiescent supply current of a static CMOS gate is (near) zero.
+	if i := lo.I("vdd"); math.Abs(i) > 1e-8 {
+		t.Fatalf("IDDQ = %g, want ~0", i)
+	}
+	// Mid-rail input: both devices on, out between rails, current flows.
+	mid, err := mk(2.5).OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := mid.V("out"); v < 0.5 || v > 4.5 {
+		t.Fatalf("out(in=2.5) = %g", v)
+	}
+	if i := mid.I("vdd"); i < 1e-5 {
+		t.Fatalf("crowbar current = %g, want substantial", i)
+	}
+}
+
+func TestInverterVTCMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for vin := 0.0; vin <= 5.0; vin += 0.25 {
+		b := netlist.NewBuilder()
+		b.Vsrc("vdd", "vdd", "0", netlist.DC(5))
+		b.Vsrc("vin", "in", "0", netlist.DC(vin))
+		b.PMOS("mp", "out", "in", "vdd", "vdd", 20, 1)
+		b.NMOS("mn", "out", "in", "0", 10, 1)
+		sol, err := engineFor(b).OP()
+		if err != nil {
+			t.Fatalf("vin=%g: %v", vin, err)
+		}
+		v := sol.V("out")
+		if v > prev+1e-6 {
+			t.Fatalf("VTC not monotone at vin=%g: %g > %g", vin, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestBridgedShortFault(t *testing.T) {
+	// A 0.2 Ω short (the paper's metal-short model) across the inverter
+	// output to ground forces the output low and draws big current —
+	// the canonical IDDQ detection mechanism.
+	b := netlist.NewBuilder()
+	b.Vsrc("vdd", "vdd", "0", netlist.DC(5))
+	b.Vsrc("vin", "in", "0", netlist.DC(0)) // out should be high
+	b.PMOS("mp", "out", "in", "vdd", "vdd", 20, 1)
+	b.NMOS("mn", "out", "in", "0", 10, 1)
+	b.R("fault", "out", "0", 0.2)
+	sol, err := engineFor(b).OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol.V("out"); v > 0.5 {
+		t.Fatalf("shorted output = %g, want near 0", v)
+	}
+	if i := sol.I("vdd"); i < 1e-4 {
+		t.Fatalf("fault current = %g, want elevated", i)
+	}
+}
+
+func TestRCTransient(t *testing.T) {
+	b := netlist.NewBuilder()
+	// Delay > 0 so the t=0 operating point sees the pulse still low.
+	b.Vsrc("v1", "in", "0", netlist.Pulse{V0: 0, V1: 1, Delay: 1e-9, Rise: 0, Width: 1, Fall: 0})
+	b.R("r1", "in", "out", 1000)
+	b.Cap("c1", "out", "0", 1e-6) // tau = 1 ms
+	e := engineFor(b)
+	tr, err := e.Transient(3e-3, 20e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After 1 tau: 63.2 %, after 3 tau: 95 %.
+	v1 := tr.AtTime(1e-3).V("out")
+	if math.Abs(v1-0.632) > 0.02 {
+		t.Fatalf("v(tau) = %g, want ≈0.632", v1)
+	}
+	v3 := tr.AtTime(3e-3).V("out")
+	if v3 < 0.94 {
+		t.Fatalf("v(3tau) = %g, want ≈0.95", v3)
+	}
+	// Monotone rise.
+	w := tr.V("out")
+	for i := 1; i < len(w); i++ {
+		if w[i] < w[i-1]-1e-9 {
+			t.Fatal("RC charge must be monotone")
+		}
+	}
+}
+
+func TestTransientCapHoldsCharge(t *testing.T) {
+	// Sample-and-hold: switch transistor charges a cap, then opens; the
+	// cap must hold its voltage (this is what the comparator fault
+	// simulation depends on).
+	b := netlist.NewBuilder()
+	b.Vsrc("vdd", "vdd", "0", netlist.DC(5))
+	b.Vsrc("vin", "in", "0", netlist.DC(2))
+	b.Vsrc("clk", "clk", "0", netlist.Pulse{V0: 5, V1: 0, Delay: 10e-9, Rise: 1e-9, Width: 1})
+	b.NMOS("msw", "in", "clk", "hold", 10, 1)
+	b.Cap("ch", "hold", "0", 1e-12)
+	e := engineFor(b)
+	tr, err := e.Transient(100e-9, 0.5e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vHeld := tr.AtTime(99e-9).V("hold")
+	if math.Abs(vHeld-2) > 0.05 {
+		t.Fatalf("held voltage = %g, want ≈2", vHeld)
+	}
+}
+
+func TestDiffPairSteering(t *testing.T) {
+	// Classic balanced pair with resistor loads: input imbalance steers
+	// the tail current and unbalances the outputs.
+	mk := func(dv float64) *Engine {
+		b := netlist.NewBuilder()
+		b.Vsrc("vdd", "vdd", "0", netlist.DC(5))
+		b.Vsrc("vp", "inp", "0", netlist.DC(2.5+dv/2))
+		b.Vsrc("vn", "inn", "0", netlist.DC(2.5-dv/2))
+		b.R("rl1", "vdd", "o1", 20e3)
+		b.R("rl2", "vdd", "o2", 20e3)
+		b.NMOS("m1", "o1", "inp", "tail", 20, 1)
+		b.NMOS("m2", "o2", "inn", "tail", 20, 1)
+		b.Isrc("it", "tail", "0", netlist.DC(100e-6))
+		return engineFor(b)
+	}
+	bal, err := mk(0).OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := bal.V("o1") - bal.V("o2"); math.Abs(d) > 1e-3 {
+		t.Fatalf("balanced offset = %g", d)
+	}
+	pos, err := mk(0.2).OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pos.V("o1") - pos.V("o2"); d > -0.1 {
+		t.Fatalf("steering: d = %g, want strongly negative", d)
+	}
+}
+
+func TestOPConvergesOnStiffFault(t *testing.T) {
+	// 0.2 Ω across the 5 V supply: a brutal but solvable system.
+	b := netlist.NewBuilder()
+	b.Vsrc("vdd", "vdd", "0", netlist.DC(5))
+	b.R("rsupply", "vdd", "x", 10) // series limit
+	b.R("fault", "x", "0", 0.2)
+	b.PMOS("mp", "out", "x", "vdd", "vdd", 20, 1)
+	b.NMOS("mn", "out", "x", "0", 10, 1)
+	sol, err := engineFor(b).OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol.V("x"); math.Abs(v-5*0.2/10.2) > 1e-3 {
+		t.Fatalf("x = %g", v)
+	}
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	b := netlist.NewBuilder()
+	b.Vsrc("v1", "a", "0", netlist.DC(1))
+	b.R("r1", "a", "0", 1)
+	sol, err := engineFor(b).OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("V on unknown node must panic")
+		}
+	}()
+	_ = sol.V("nonexistent")
+}
+
+func TestUnknownVsrcPanics(t *testing.T) {
+	b := netlist.NewBuilder()
+	b.Vsrc("v1", "a", "0", netlist.DC(1))
+	b.R("r1", "a", "0", 1)
+	sol, err := engineFor(b).OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("I on unknown source must panic")
+		}
+	}()
+	_ = sol.I("nope")
+}
+
+// Property: a chain of n equal resistors from V to ground divides the
+// voltage evenly; node k sits at V*(n-k)/n.
+func TestQuickResistorChain(t *testing.T) {
+	f := func(nRaw, vRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		v := float64(vRaw%10) + 1
+		b := netlist.NewBuilder()
+		b.Vsrc("v", "n0", "0", netlist.DC(v))
+		for i := 0; i < n; i++ {
+			b.R("r"+string(rune('a'+i)), nodeName(i), nodeName(i+1), 1000)
+		}
+		// Last node to ground:
+		b.R("rend", nodeName(n), "0", 1e-6) // effectively ground tie
+		sol, err := engineFor(b).OP()
+		if err != nil {
+			return false
+		}
+		for k := 0; k <= n; k++ {
+			want := v * float64(n-k) / float64(n)
+			if math.Abs(sol.V(nodeName(k))-want) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nodeName(i int) string {
+	if i == 0 {
+		return "n0"
+	}
+	return "n" + string(rune('0'+i))
+}
+
+func TestTranMeasurementHelpers(t *testing.T) {
+	b := netlist.NewBuilder()
+	b.Vsrc("v1", "a", "0", netlist.PWL{T: []float64{0, 1}, V: []float64{0, 1}})
+	b.R("r1", "a", "0", 1)
+	e := engineFor(b)
+	tr, err := e.Transient(1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() < 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	iw := tr.I("v1")
+	if len(iw) != tr.Len() {
+		t.Fatal("I length mismatch")
+	}
+	// Mean of v over [0.4, 0.6] ≈ 0.5.
+	m := tr.MeanBetween(tr.V("a"), 0.4, 0.6)
+	if math.Abs(m-0.5) > 0.06 {
+		t.Fatalf("MeanBetween = %g", m)
+	}
+	if tr.MeanBetween(iw, 99, 100) != 0 {
+		t.Fatal("empty window must return 0")
+	}
+}

@@ -1,0 +1,82 @@
+// Package testgen models the production test stimuli and their cost: the
+// missing-code test (a triangular waveform sampled at full conversion
+// rate) and the DC current test (settled measurements of IVdd, IDDQ and
+// Iinput in each clock phase at two input levels). The paper's headline
+// is that this simple test pair reaches its coverage in well under a
+// millisecond of tester time, "which compares favourably with
+// specification-oriented tests".
+package testgen
+
+import (
+	"fmt"
+	"time"
+)
+
+// Plan describes the simple production test of the paper.
+type Plan struct {
+	// Samples is the number of conversions in the missing-code test
+	// (1 000 in the paper).
+	Samples int
+	// SampleRate is the converter's full-speed conversion rate (Hz).
+	SampleRate float64
+	// CurrentMeasurements counts the settled DC measurements: three
+	// phases × two input levels in the paper.
+	CurrentMeasurements int
+	// SettleTime is the wait for transient currents to die before each
+	// current measurement (≈100 µs in the paper).
+	SettleTime time.Duration
+}
+
+// Default returns the paper's test plan: 1 000 samples at video rate and
+// six settled current measurements.
+func Default() Plan {
+	return Plan{
+		Samples:             1000,
+		SampleRate:          20e6, // 20 MS/s video converter
+		CurrentMeasurements: 6,
+		SettleTime:          100 * time.Microsecond,
+	}
+}
+
+// MissingCodeTime returns the duration of the missing-code test.
+func (p Plan) MissingCodeTime() time.Duration {
+	if p.SampleRate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(p.Samples) / p.SampleRate * float64(time.Second))
+}
+
+// CurrentTestTime returns the duration of the current test.
+func (p Plan) CurrentTestTime() time.Duration {
+	return time.Duration(p.CurrentMeasurements) * p.SettleTime
+}
+
+// Total returns the complete simple-test time.
+func (p Plan) Total() time.Duration {
+	return p.MissingCodeTime() + p.CurrentTestTime()
+}
+
+// String summarises the plan.
+func (p Plan) String() string {
+	return fmt.Sprintf("missing-code: %d samples @ %.0f MS/s = %v; current: %d × %v = %v; total %v",
+		p.Samples, p.SampleRate/1e6, p.MissingCodeTime(),
+		p.CurrentMeasurements, p.SettleTime, p.CurrentTestTime(), p.Total())
+}
+
+// TriangleStimulus returns the analog input voltage for sample i of the
+// missing-code test: a triangular sweep slightly beyond [vlo, vhi].
+func (p Plan) TriangleStimulus(i int, vlo, vhi float64) float64 {
+	span := vhi - vlo
+	over := 0.02 * span
+	ph := 2 * float64(i%p.Samples) / float64(p.Samples)
+	if ph <= 1 {
+		return vlo - over + ph*(span+2*over)
+	}
+	return vhi + over - (ph-1)*(span+2*over)
+}
+
+// CurrentStimuli returns the two DC input levels of the current test: one
+// above the highest reference voltage and one below the lowest.
+func CurrentStimuli(vlo, vhi float64) (below, above float64) {
+	return vlo - 0.5, vhi + 0.5
+}

@@ -1,0 +1,84 @@
+package testgen
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultPlanTimes(t *testing.T) {
+	p := Default()
+	// 1000 samples at 20 MS/s = 50 µs.
+	if got := p.MissingCodeTime(); got != 50*time.Microsecond {
+		t.Fatalf("missing-code time = %v", got)
+	}
+	// 6 × 100 µs = 600 µs.
+	if got := p.CurrentTestTime(); got != 600*time.Microsecond {
+		t.Fatalf("current-test time = %v", got)
+	}
+	if got := p.Total(); got != 650*time.Microsecond {
+		t.Fatalf("total = %v", got)
+	}
+	if p.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestZeroRate(t *testing.T) {
+	p := Plan{Samples: 100}
+	if p.MissingCodeTime() != 0 {
+		t.Fatal("zero rate must not divide by zero")
+	}
+}
+
+func TestTriangleStimulusCoversRange(t *testing.T) {
+	p := Default()
+	lo, hi := 1.0, 3.0
+	min, max := 99.0, -99.0
+	for i := 0; i < p.Samples; i++ {
+		v := p.TriangleStimulus(i, lo, hi)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min > lo || max < hi {
+		t.Fatalf("sweep [%g, %g] must cover [%g, %g]", min, max, lo, hi)
+	}
+	// Overdrive beyond the range ends (so the end codes are exercised).
+	if min >= lo || max <= hi {
+		t.Fatal("sweep must overdrive both ends")
+	}
+}
+
+// Property: the triangular stimulus is bounded by the overdriven range
+// and piecewise monotone (up then down).
+func TestQuickTriangleShape(t *testing.T) {
+	p := Default()
+	f := func(iRaw uint16) bool {
+		i := int(iRaw) % p.Samples
+		v := p.TriangleStimulus(i, 1, 3)
+		return v >= 1-0.05 && v <= 3+0.05
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Monotone on the rising half.
+	prev := p.TriangleStimulus(0, 1, 3)
+	for i := 1; i < p.Samples/2; i++ {
+		v := p.TriangleStimulus(i, 1, 3)
+		if v < prev {
+			t.Fatalf("rising half must be monotone at %d", i)
+		}
+		prev = v
+	}
+}
+
+func TestCurrentStimuli(t *testing.T) {
+	below, above := CurrentStimuli(1, 3)
+	if below >= 1 || above <= 3 {
+		t.Fatalf("stimuli = %g, %g", below, above)
+	}
+}
