@@ -13,11 +13,13 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 
 	"repro"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/defectsim"
 	"repro/internal/faults"
@@ -442,6 +444,51 @@ func BenchmarkExtensionACTest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := m.AmplifierAC(nil, opt); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// campaignBenchCfg is the QuickConfig-scale workload the campaign
+// speedup is measured on: every macro, three classes each, catastrophic
+// path only — the per-class units dominate, which is the parallel axis.
+func campaignBenchCfg() core.Config {
+	cfg := core.QuickConfig()
+	cfg.Defects = 1200
+	cfg.MCSamples = 5
+	cfg.MaxClassesPerMacro = 3
+	cfg.SkipNonCat = true
+	return cfg
+}
+
+// BenchmarkCampaignSerial is the baseline: the plain serial pipeline on
+// the campaign workload.
+func BenchmarkCampaignSerial(b *testing.B) {
+	cfg := campaignBenchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewPipeline(cfg).Run(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignParallel runs the same workload through the
+// work-stealing campaign engine at 4 workers. The speedup over
+// BenchmarkCampaignSerial scales with available cores (the container the
+// numbers in EXPERIMENTS.md come from has GOMAXPROCS=1, so they show
+// engine overhead, not speedup; see EXPERIMENTS.md).
+func BenchmarkCampaignParallel(b *testing.B) {
+	cfg := campaignBenchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, out, err := core.RunParallel(context.Background(), cfg, false,
+			campaign.Options{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("units=%d utilization=%.2f steals=%d",
+				out.Stats.UnitsTotal, out.Stats.Utilization, out.Stats.Steals)
 		}
 	}
 }

@@ -1,0 +1,150 @@
+// Command campaign runs the defect-oriented test methodology as a
+// parallel fault-simulation campaign: per-macro defect sprinkles and
+// per-fault-class analog fault simulations execute as independent units
+// on a work-stealing worker pool, with checkpoint/resume and run
+// metrics. Output is bit-identical to the serial cmd/dotest run at the
+// same seed, for any worker count.
+//
+// Usage:
+//
+//	campaign [-workers N] [-checkpoint file] [-resume] [-json-stats file]
+//	         [-defects N] [-mag N] [-mc N] [-seed S] [-dft pre|post|both]
+//	         [-maxclasses N] [-quick] [-json file] [-v]
+//
+// A cancelled run (SIGINT) flushes its checkpoint before exiting, so
+//
+//	campaign -checkpoint run.ckpt            # interrupt it mid-run …
+//	campaign -checkpoint run.ckpt -resume    # … and pick up where it left off
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaign: ")
+
+	var (
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		checkpoint = flag.String("checkpoint", "", "JSON checkpoint file (\"\" disables)")
+		resume     = flag.Bool("resume", false, "resume from the checkpoint, skipping finished units")
+		jsonStats  = flag.String("json-stats", "", "write the run-metrics snapshot to this file")
+		defects    = flag.Int("defects", 25000, "class-discovery sprinkle size per macro")
+		mag        = flag.Int("mag", 250000, "magnitude sprinkle size (0 = reuse discovery)")
+		mc         = flag.Int("mc", 80, "good-space Monte Carlo dies")
+		seed       = flag.Int64("seed", 1995, "random seed")
+		dftMode    = flag.String("dft", "both", "DfT setting: pre, post or both")
+		maxClasses = flag.Int("maxclasses", 0, "cap analysed classes per macro (0 = all)")
+		quick      = flag.Bool("quick", false, "small, fast configuration")
+		jsonOut    = flag.String("json", "", "also write a machine-readable summary to this file")
+		verbose    = flag.Bool("v", false, "log unit completions")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Seed:               *seed,
+		Defects:            *defects,
+		MagnitudeDefects:   *mag,
+		MCSamples:          *mc,
+		NSigma:             3,
+		FloorA:             2e-6,
+		MaxClassesPerMacro: *maxClasses,
+	}
+	if *quick {
+		cfg = core.QuickConfig()
+		cfg.Seed = *seed
+	}
+
+	var dfts []bool
+	switch *dftMode {
+	case "pre":
+		dfts = []bool{false}
+	case "post":
+		dfts = []bool{true}
+	case "both":
+		dfts = []bool{false, true}
+	default:
+		log.Fatalf("bad -dft %q", *dftMode)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	for _, dft := range dfts {
+		label, suffix := "before DfT", ""
+		if dft {
+			label, suffix = "after DfT", ".dft"
+		}
+		opts := campaign.Options{
+			Workers: *workers,
+			Resume:  *resume,
+		}
+		if *checkpoint != "" {
+			opts.Checkpoint = *checkpoint + suffix
+		}
+		if *verbose {
+			opts.OnUnitDone = func(key string, restored bool) {
+				if restored {
+					log.Printf("restored %s", key)
+				} else {
+					log.Printf("done %s", key)
+				}
+			}
+		}
+
+		fmt.Printf("==== Parallel campaign (%s) ====\n\n", label)
+		run, out, err := core.RunParallel(ctx, cfg, dft, opts)
+		if err != nil {
+			if out != nil {
+				out.Stats.Print(os.Stderr)
+			}
+			if ctx.Err() != nil && *checkpoint != "" {
+				log.Printf("interrupted; checkpoint flushed to %s — rerun with -resume", *checkpoint+suffix)
+			}
+			log.Fatal(err)
+		}
+
+		report.PerMacro(os.Stdout, run)
+		title := "Fig 4: global detectability"
+		if dft {
+			title = "Fig 5: global detectability after DfT"
+		}
+		report.Global(os.Stdout, title, run)
+		out.Stats.Print(os.Stdout)
+		fmt.Println()
+
+		if *jsonOut != "" {
+			data, err := report.JSON(run)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*jsonOut+suffix, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut+suffix)
+		}
+		if *jsonStats != "" {
+			data, err := out.Stats.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*jsonStats+suffix, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *jsonStats+suffix)
+		}
+	}
+	fmt.Printf("total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -5,18 +5,24 @@
 //
 //	dotest [-defects N] [-mag N] [-mc N] [-seed S] [-macro name|all]
 //	       [-dft pre|post|both] [-maxclasses N] [-nsigma X] [-quick]
+//	       [-workers N]
 //
 // With no flags it reproduces every experiment at full fidelity (several
-// minutes of CPU).
+// minutes of CPU). -workers > 1 runs the per-macro sprinkles and
+// per-class fault simulations on the parallel campaign engine; the
+// output is bit-identical to the serial run. For checkpoint/resume and
+// run metrics use cmd/campaign.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/report"
 )
@@ -36,6 +42,7 @@ func main() {
 		nsigma     = flag.Float64("nsigma", 3, "current-detection threshold multiple")
 		quick      = flag.Bool("quick", false, "small, fast configuration")
 		jsonOut    = flag.String("json", "", "also write a machine-readable summary to this file")
+		workers    = flag.Int("workers", 1, "parallel campaign workers (1 = serial, 0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -81,7 +88,14 @@ func main() {
 			printMacro(run)
 			continue
 		}
-		run, err := p.Run(dft)
+		var run *core.Run
+		var err error
+		if *workers == 1 {
+			run, err = p.Run(dft)
+		} else {
+			run, _, err = p.RunParallel(context.Background(), dft,
+				campaign.Options{Workers: *workers})
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,77 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// GroupStats aggregates the units of one group (one macro, in the
+// methodology campaign).
+type GroupStats struct {
+	// Units completed successfully (restored ones included).
+	Units int `json:"units"`
+	// Restored counts checkpoint hits among them.
+	Restored int `json:"restored"`
+	// Failed counts units that exhausted their retries.
+	Failed int `json:"failed"`
+	// WallMS is the summed execution time of the group's units across
+	// all workers (restored units contribute ~0).
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Stats is the run-metrics snapshot of a campaign.
+type Stats struct {
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// UnitsTotal counts every unit ever enqueued.
+	UnitsTotal int `json:"units_total"`
+	// Completed counts successful units, Restored the checkpoint hits
+	// among them, Failed the units that exhausted retries.
+	Completed int `json:"completed"`
+	Restored  int `json:"restored"`
+	Failed    int `json:"failed"`
+	// Retries counts re-attempts after unit errors or panics.
+	Retries int `json:"retries"`
+	// Steals counts deque steals by idle workers.
+	Steals int `json:"steals"`
+	// Checkpoints counts checkpoint writes.
+	Checkpoints int `json:"checkpoints"`
+	// WallMS is the campaign wall time; BusyMS the summed worker busy
+	// time; Utilization is BusyMS / (WallMS × Workers).
+	WallMS      float64 `json:"wall_ms"`
+	BusyMS      float64 `json:"busy_ms"`
+	Utilization float64 `json:"utilization"`
+	// Groups holds the per-group aggregates.
+	Groups map[string]*GroupStats `json:"groups"`
+}
+
+// JSON serialises the snapshot.
+func (s *Stats) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Print renders a human-readable summary.
+func (s *Stats) Print(w io.Writer) {
+	fmt.Fprintf(w, "campaign: %d workers, %d/%d units ok (%d restored, %d failed), %d retries, %d steals\n",
+		s.Workers, s.Completed, s.UnitsTotal, s.Restored, s.Failed, s.Retries, s.Steals)
+	fmt.Fprintf(w, "campaign: wall %.0f ms, busy %.0f ms, utilization %.0f%%, %d checkpoint writes\n",
+		s.WallMS, s.BusyMS, 100*s.Utilization, s.Checkpoints)
+	groups := make([]string, 0, len(s.Groups))
+	for g := range s.Groups {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		gs := s.Groups[g]
+		fmt.Fprintf(w, "campaign:   %-12s %4d units  %8.0f ms", g, gs.Units, gs.WallMS)
+		if gs.Restored > 0 {
+			fmt.Fprintf(w, "  (%d restored)", gs.Restored)
+		}
+		if gs.Failed > 0 {
+			fmt.Fprintf(w, "  (%d FAILED)", gs.Failed)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -12,9 +12,13 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
+	"strconv"
+	"sync"
 
 	"repro/internal/defectsim"
 	"repro/internal/faults"
@@ -22,6 +26,24 @@ import (
 	"repro/internal/process"
 	"repro/internal/signature"
 )
+
+// StreamSeed derives the RNG seed of one named Monte Carlo stream from
+// the campaign seed (FNV-1a over the seed bytes and the stream labels).
+// Every Monte Carlo stage draws from its own stream — per (macro, pass)
+// for the defect sprinkles, per die for the good-space sampling — so
+// results are independent of stage ordering and of how units are
+// scheduled across campaign workers.
+func StreamSeed(seed int64, labels ...string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	for _, l := range labels {
+		h.Write([]byte{0})
+		h.Write([]byte(l))
+	}
+	return int64(h.Sum64())
+}
 
 // Config parameterises a methodology run.
 type Config struct {
@@ -152,7 +174,10 @@ func (r *Run) Macro(name string) *MacroRun {
 	return nil
 }
 
-// Pipeline binds the macro set to a configuration.
+// Pipeline binds the macro set to a configuration. A Pipeline is safe
+// for concurrent AnalyzeClass/RunMacro calls: the lazy caches below are
+// mutex-guarded, and the macros themselves are either stateless or
+// internally synchronised.
 type Pipeline struct {
 	Cfg  Config
 	Proc *process.Process
@@ -164,7 +189,9 @@ type Pipeline struct {
 	decoder *macros.DecoderMacro
 	all     []macros.Macro
 
-	// nominal per-macro responses and compiled good spaces per DfT flag.
+	// mu guards the lazy caches: nominal per-macro responses and
+	// compiled good spaces per DfT flag.
+	mu       sync.Mutex
 	nomParts map[bool]map[string]*signature.Response
 	good     map[bool]*signature.GoodSpace
 }
@@ -281,14 +308,18 @@ func (p *Pipeline) Chipify(parts map[string]*signature.Response, faultyMacro str
 }
 
 // GoodSpace compiles (and caches) the chip-level good-signature space for
-// one DfT setting: a Monte Carlo over dies, each die one shared variation.
+// one DfT setting: a Monte Carlo over dies, each die one shared variation
+// drawn from its own per-die RNG stream — the same dies regardless of
+// DfT setting, sampling order or parallel scheduling.
 func (p *Pipeline) GoodSpace(dft bool) (*signature.GoodSpace, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if g, ok := p.good[dft]; ok {
 		return g, nil
 	}
-	rng := rand.New(rand.NewSource(p.Cfg.Seed ^ 0x600d))
 	var samples []*signature.Response
 	for i := 0; i < p.Cfg.MCSamples; i++ {
+		rng := rand.New(rand.NewSource(StreamSeed(p.Cfg.Seed, "goodspace", strconv.Itoa(i))))
 		v := macros.Draw(rng)
 		parts, err := p.partsFor(v, dft, true)
 		if err != nil {
@@ -303,6 +334,8 @@ func (p *Pipeline) GoodSpace(dft bool) (*signature.GoodSpace, error) {
 
 // nominals returns (and caches) the nominal-variation fault-free parts.
 func (p *Pipeline) nominals(dft bool) (map[string]*signature.Response, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if parts, ok := p.nomParts[dft]; ok {
 		return parts, nil
 	}
@@ -353,8 +386,11 @@ func (p *Pipeline) AnalyzeClass(macroName string, c faults.Class, nonCat, dft bo
 	return &ClassAnalysis{Class: c, NonCat: nonCat, Resp: resp, Chip: chip, Det: det}, nil
 }
 
-// RunMacro executes the complete defect-oriented test path for one macro.
-func (p *Pipeline) RunMacro(macroName string, dft bool) (*MacroRun, error) {
+// DiscoverClasses runs the layout → defect-simulation → fault-collapsing
+// front half of the test path for one macro: both sprinkle passes and the
+// class catalogue, but no class analyses. Each sprinkle draws from its
+// own (Seed, macro, pass) RNG stream.
+func (p *Pipeline) DiscoverClasses(macroName string, dft bool) (*MacroRun, error) {
 	m, err := p.macroByName(macroName)
 	if err != nil {
 		return nil, err
@@ -368,13 +404,13 @@ func (p *Pipeline) RunMacro(macroName string, dft bool) (*MacroRun, error) {
 	// statistically significant counts (the paper used 10 000 000).
 	// Magnitude-pass faults whose class was not discovered are counted
 	// as the unmatched tail.
-	discovery := sim.Sprinkle(p.Cfg.Defects, p.Cfg.Seed)
+	discovery := sim.Sprinkle(p.Cfg.Defects, StreamSeed(p.Cfg.Seed, "sprinkle", macroName, "discovery"))
 	classes := faults.Collapse(discovery.Faults)
 	source := discovery
 	magDefects := 0
 	unmatched := 0
 	if p.Cfg.MagnitudeDefects > p.Cfg.Defects {
-		source = sim.Sprinkle(p.Cfg.MagnitudeDefects, p.Cfg.Seed+1)
+		source = sim.Sprinkle(p.Cfg.MagnitudeDefects, StreamSeed(p.Cfg.Seed, "sprinkle", macroName, "magnitude"))
 		magDefects = p.Cfg.MagnitudeDefects
 		byKey := map[string]int{}
 		for i := range classes {
@@ -421,23 +457,49 @@ func (p *Pipeline) RunMacro(macroName string, dft bool) (*MacroRun, error) {
 		}
 	}
 	run.TotalFaults = len(source.Faults) - unmatched
+	return run, nil
+}
 
-	analyse := classes
-	if p.Cfg.MaxClassesPerMacro > 0 && len(analyse) > p.Cfg.MaxClassesPerMacro {
-		analyse = analyse[:p.Cfg.MaxClassesPerMacro]
+// AnalysisTarget names one class analysis of a macro run: the class index
+// and the fault-model variant.
+type AnalysisTarget struct {
+	Index  int
+	NonCat bool
+}
+
+// analysisTargets lists the class analyses the configuration asks for, in
+// the canonical (serial) order: per class, the catastrophic analysis and
+// then — when eligible and enabled — the non-catastrophic one.
+func (p *Pipeline) analysisTargets(run *MacroRun) []AnalysisTarget {
+	n := len(run.Classes)
+	if p.Cfg.MaxClassesPerMacro > 0 && n > p.Cfg.MaxClassesPerMacro {
+		n = p.Cfg.MaxClassesPerMacro
 	}
-	for _, c := range analyse {
-		ca, err := p.AnalyzeClass(macroName, c, false, dft)
+	var out []AnalysisTarget
+	for i := 0; i < n; i++ {
+		out = append(out, AnalysisTarget{Index: i})
+		if !p.Cfg.SkipNonCat && run.Classes[i].Fault.NonCatEligible() {
+			out = append(out, AnalysisTarget{Index: i, NonCat: true})
+		}
+	}
+	return out
+}
+
+// RunMacro executes the complete defect-oriented test path for one macro.
+func (p *Pipeline) RunMacro(macroName string, dft bool) (*MacroRun, error) {
+	run, err := p.DiscoverClasses(macroName, dft)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range p.analysisTargets(run) {
+		ca, err := p.AnalyzeClass(macroName, run.Classes[t.Index], t.NonCat, dft)
 		if err != nil {
 			return nil, err
 		}
-		run.Cat = append(run.Cat, *ca)
-		if !p.Cfg.SkipNonCat && c.Fault.NonCatEligible() {
-			nca, err := p.AnalyzeClass(macroName, c, true, dft)
-			if err != nil {
-				return nil, err
-			}
-			run.NonCat = append(run.NonCat, *nca)
+		if t.NonCat {
+			run.NonCat = append(run.NonCat, *ca)
+		} else {
+			run.Cat = append(run.Cat, *ca)
 		}
 	}
 	return run, nil

@@ -1,0 +1,164 @@
+// Parallel campaign execution of the methodology: the run is decomposed
+// into independent units — one defect-sprinkle unit per macro, fanning
+// out into one unit per analysed fault class — executed on the
+// work-stealing pool of internal/campaign and merged back in canonical
+// pipeline order. Because every Monte Carlo stage draws from its own
+// (Seed, macro, pass) RNG stream and the class analyses are themselves
+// deterministic, the merged result is bit-identical to the serial
+// Pipeline.Run at the same seed, for any worker count and any schedule.
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+)
+
+// Unit-key prefixes of the methodology campaign.
+const (
+	keyMacro = "macro/" // + macro name → *MacroRun (discovery half)
+	keyClass = "class/" // + macro/index/variant → *ClassAnalysis
+)
+
+func classKey(macroName string, t AnalysisTarget) string {
+	variant := "cat"
+	if t.NonCat {
+		variant = "noncat"
+	}
+	return keyClass + macroName + "/" + strconv.Itoa(t.Index) + "/" + variant
+}
+
+// Fingerprint identifies the configuration of a campaign checkpoint: a
+// checkpoint written under one fingerprint cannot resume a run with a
+// different configuration.
+func Fingerprint(cfg Config, dft bool) string {
+	return fmt.Sprintf("core-campaign-v1|%+v|dft=%t", cfg, dft)
+}
+
+// decodeUnit rebuilds a typed unit result from checkpointed JSON.
+func decodeUnit(key string, raw json.RawMessage) (any, error) {
+	switch {
+	case strings.HasPrefix(key, keyMacro):
+		var mr MacroRun
+		if err := json.Unmarshal(raw, &mr); err != nil {
+			return nil, err
+		}
+		return &mr, nil
+	case strings.HasPrefix(key, keyClass):
+		var ca ClassAnalysis
+		if err := json.Unmarshal(raw, &ca); err != nil {
+			return nil, err
+		}
+		return &ca, nil
+	}
+	return nil, fmt.Errorf("core: unknown campaign unit key %q", key)
+}
+
+// macroUnit builds the discovery unit of one macro; its fanout generates
+// the per-class analysis units.
+func (p *Pipeline) macroUnit(macroName string, dft bool) campaign.Unit {
+	return campaign.Unit{
+		Key:   keyMacro + macroName,
+		Group: macroName,
+		Run: func(context.Context) (any, error) {
+			return p.DiscoverClasses(macroName, dft)
+		},
+		Fanout: func(result any) []campaign.Unit {
+			run := result.(*MacroRun)
+			targets := p.analysisTargets(run)
+			units := make([]campaign.Unit, 0, len(targets))
+			for _, t := range targets {
+				c := run.Classes[t.Index]
+				nonCat := t.NonCat
+				units = append(units, campaign.Unit{
+					Key:   classKey(macroName, t),
+					Group: macroName,
+					Run: func(context.Context) (any, error) {
+						return p.AnalyzeClass(macroName, c, nonCat, dft)
+					},
+				})
+			}
+			return units
+		},
+	}
+}
+
+// RunParallel executes the whole methodology over every macro for one
+// DfT setting on the campaign engine. The merged Run is bit-identical to
+// the serial Run(dft) at the same configuration; a fault class whose
+// unit failed (after retries) is dropped from the analyses — degrading
+// the coverage report — instead of aborting the campaign. The Outcome
+// carries the run metrics; it is non-nil whenever a campaign was
+// started, including on cancellation.
+func (p *Pipeline) RunParallel(ctx context.Context, dft bool, opts campaign.Options) (*Run, *campaign.Outcome, error) {
+	// The good space and nominal responses are shared by every analysis
+	// unit: compile them up front, once, on the caller's goroutine.
+	if _, err := p.GoodSpace(dft); err != nil {
+		return nil, nil, err
+	}
+	if _, err := p.nominals(dft); err != nil {
+		return nil, nil, err
+	}
+	if opts.Fingerprint == "" {
+		opts.Fingerprint = Fingerprint(p.Cfg, dft)
+	}
+	if opts.Decode == nil {
+		opts.Decode = decodeUnit
+	}
+	roots := make([]campaign.Unit, 0, len(p.all))
+	for _, name := range p.MacroNames() {
+		roots = append(roots, p.macroUnit(name, dft))
+	}
+	out, err := campaign.Execute(ctx, opts, roots)
+	if err != nil {
+		return nil, out, err
+	}
+	run, err := p.mergeRun(dft, out)
+	return run, out, err
+}
+
+// RunParallel is the package-level convenience entry point: one fresh
+// pipeline, one DfT setting, executed on the campaign engine.
+func RunParallel(ctx context.Context, cfg Config, dft bool, opts campaign.Options) (*Run, *campaign.Outcome, error) {
+	return NewPipeline(cfg).RunParallel(ctx, dft, opts)
+}
+
+// mergeRun reassembles the campaign's keyed results into a Run in
+// canonical pipeline order: macros in pipeline order, class analyses in
+// descending-magnitude class order — exactly the serial traversal.
+func (p *Pipeline) mergeRun(dft bool, out *campaign.Outcome) (*Run, error) {
+	good, err := p.GoodSpace(dft)
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{Cfg: p.Cfg, DfT: dft, Good: good}
+	for _, name := range p.MacroNames() {
+		v, ok := out.Results[keyMacro+name]
+		if !ok {
+			// A lost sprinkle poisons every downstream number of the
+			// macro; unlike a single class this cannot degrade gracefully.
+			return nil, fmt.Errorf("core: campaign lost macro %s: %s",
+				name, out.Failed[keyMacro+name])
+		}
+		mr := v.(*MacroRun)
+		mr.Cat, mr.NonCat = nil, nil
+		for _, t := range p.analysisTargets(mr) {
+			cv, ok := out.Results[classKey(name, t)]
+			if !ok {
+				continue // failed unit: degrade coverage, keep going
+			}
+			ca := cv.(*ClassAnalysis)
+			if t.NonCat {
+				mr.NonCat = append(mr.NonCat, *ca)
+			} else {
+				mr.Cat = append(mr.Cat, *ca)
+			}
+		}
+		run.Macros = append(run.Macros, mr)
+	}
+	return run, nil
+}

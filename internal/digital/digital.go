@@ -9,6 +9,7 @@ package digital
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // GateType enumerates the supported gate functions.
@@ -113,19 +114,25 @@ type Fault struct {
 	IDDQOnly bool
 }
 
-// Circuit is a feed-forward gate network.
+// Circuit is a feed-forward gate network. Once built, a Circuit is safe
+// for concurrent Eval calls: the lazily computed topological order is
+// mutex-guarded (the decoder macro shares one Circuit across parallel
+// fault-class analyses).
 type Circuit struct {
 	Inputs  []string
 	Outputs []string
 	Gates   []*Gate
 
+	mu      sync.Mutex
 	ordered []*Gate
 }
 
 // AddGate appends a gate.
 func (c *Circuit) AddGate(name string, t GateType, out string, in ...string) {
 	c.Gates = append(c.Gates, &Gate{Name: name, Type: t, Out: out, In: in})
+	c.mu.Lock()
 	c.ordered = nil
+	c.mu.Unlock()
 }
 
 // Nets returns the sorted names of all nets (inputs and gate outputs).
@@ -148,12 +155,15 @@ func (c *Circuit) Nets() []string {
 	return out
 }
 
-// topo orders gates so that every gate follows its drivers. Returns an
-// error on combinational loops (which cannot occur in a well-formed
-// decoder but can be created by severe faults elsewhere).
-func (c *Circuit) topo() error {
+// topo orders gates so that every gate follows its drivers and returns
+// the order. Returns an error on combinational loops (which cannot occur
+// in a well-formed decoder but can be created by severe faults
+// elsewhere).
+func (c *Circuit) topo() ([]*Gate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.ordered != nil {
-		return nil
+		return c.ordered, nil
 	}
 	driver := map[string]*Gate{}
 	for _, g := range c.Gates {
@@ -183,11 +193,11 @@ func (c *Circuit) topo() error {
 	}
 	for _, g := range c.Gates {
 		if err := visit(g); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	c.ordered = order
-	return nil
+	return order, nil
 }
 
 // Result of one faulty evaluation.
@@ -206,7 +216,8 @@ type Result struct {
 // fault f (pass Fault{} for fault-free). Bridges are wired-AND and
 // evaluated to a fixpoint.
 func (c *Circuit) Eval(in map[string]bool, f Fault) (*Result, error) {
-	if err := c.topo(); err != nil {
+	ordered, err := c.topo()
+	if err != nil {
 		return nil, err
 	}
 	v := map[string]bool{}
@@ -226,7 +237,7 @@ func (c *Circuit) Eval(in map[string]bool, f Fault) (*Result, error) {
 	const maxPasses = 4
 	for pass := 0; pass < maxPasses; pass++ {
 		changed := false
-		for _, g := range c.ordered {
+		for _, g := range ordered {
 			nv := g.eval(v)
 			// Stuck-at overrides gate outputs too.
 			if f.Kind == StuckAt && g.Out == f.Net {

@@ -45,13 +45,24 @@ func NewComparatorWithRef(vref float64) *ComparatorMacro {
 // the good signature.
 func (m *ComparatorMacro) nominalOffset(dft bool) float64 {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if off, ok := m.offNom[dft]; ok {
+		m.mu.Unlock()
 		return off
 	}
+	m.mu.Unlock()
+	// Bisect OUTSIDE the lock: the offset bisection runs a dozen full
+	// transients, and holding the mutex across it would serialise every
+	// parallel fault-class analysis behind the first caller. The
+	// computation is deterministic, so concurrent first callers compute
+	// the same value and the first store wins.
 	off, ok := m.bisectOffset(nil, RespondOpts{Var: Nominal(), DfT: dft}, 0)
 	if !ok {
 		off = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prev, ok := m.offNom[dft]; ok {
+		return prev
 	}
 	m.offNom[dft] = off
 	return off

@@ -2,6 +2,7 @@ package macros
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/layout"
@@ -70,7 +71,16 @@ func routeNets(b *layout.Builder, terms []terminal, trunkY map[string]float64, l
 	for _, t := range terms {
 		byNet[t.net] = append(byNet[t.net], t)
 	}
-	for net, ts := range byNet {
+	// Shape insertion order is load-bearing: fault extraction anchors
+	// opens to the earliest shape of a net, so nets must be routed in a
+	// deterministic order, not map order.
+	nets := make([]string, 0, len(byNet))
+	for net := range byNet {
+		nets = append(nets, net)
+	}
+	sort.Strings(nets)
+	for _, net := range nets {
+		ts := byNet[net]
 		ty, ok := trunkY[net]
 		if !ok {
 			continue
@@ -97,8 +107,13 @@ func routeNets(b *layout.Builder, terms []terminal, trunkY map[string]float64, l
 // drawLines draws the vertical metal2 distribution lines at the given x
 // positions, spanning the cell height.
 func drawLines(b *layout.Builder, lineX map[string]float64, y0, y1 float64) {
-	for net, x := range lineX {
-		b.VWire(process.Metal2, net, x, y0, y1)
+	nets := make([]string, 0, len(lineX))
+	for net := range lineX {
+		nets = append(nets, net)
+	}
+	sort.Strings(nets)
+	for _, net := range nets {
+		b.VWire(process.Metal2, net, lineX[net], y0, y1)
 	}
 }
 

@@ -129,7 +129,14 @@ func Fig3(w io.Writer, run *core.MacroRun, nonCat bool) {
 		}
 		rows = append(rows, row{label, pct})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].pct > rows[j].pct })
+	sort.Slice(rows, func(i, j int) bool {
+		// Tie-break on the label: dist is a map, so initial row order is
+		// random and a pct-only sort would leak that into the output.
+		if rows[i].pct != rows[j].pct {
+			return rows[i].pct > rows[j].pct
+		}
+		return rows[i].label < rows[j].label
+	})
 	var cells [][]string
 	for _, r := range rows {
 		cells = append(cells, []string{r.label, Pct(r.pct)})

@@ -95,7 +95,9 @@ type Response struct {
 	MissingCode bool
 	// SimError records an analysis failure (e.g. Newton breakdown with a
 	// violent fault); such responses are classified VSigMixed upstream.
-	SimError error
+	// Excluded from JSON: error values do not round-trip, and the
+	// classification it fed is already baked into Voltage.
+	SimError error `json:"-"`
 }
 
 // Keys returns the sorted measurement keys.
