@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/defectsim"
 	"repro/internal/faults"
+	"repro/internal/kernelbench"
 	"repro/internal/macros"
 	"repro/internal/netlist"
 	"repro/internal/process"
@@ -445,6 +446,16 @@ func BenchmarkExtensionACTest(b *testing.B) {
 		if _, err := m.AmplifierAC(nil, opt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkKernel runs the analog-kernel suite of internal/kernelbench:
+// the solver, operating-point, transient and fault-class-analysis hot
+// paths, with allocation reporting. cmd/benchkernel executes the same
+// cases and archives them as BENCH_kernel.json (see EXPERIMENTS.md).
+func BenchmarkKernel(b *testing.B) {
+	for _, c := range kernelbench.Cases() {
+		b.Run(c.Name, c.Bench)
 	}
 }
 

@@ -1,0 +1,94 @@
+// Command benchkernel runs the analog-kernel benchmark suite of
+// internal/kernelbench outside the `go test` harness and writes a
+// machine-readable snapshot, BENCH_kernel.json by default. The same cases
+// are registered as BenchmarkKernel/* sub-benchmarks at the module root,
+// so `go test -bench 'Kernel/'` measures the identical workloads; this
+// command exists so campaign drivers and CI can archive the numbers
+// without parsing bench output.
+//
+// Usage:
+//
+//	benchkernel [-o BENCH_kernel.json] [-benchtime 1s] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/kernelbench"
+)
+
+// Result is one benchmark measurement of the snapshot.
+type Result struct {
+	Name     string  `json:"name"`
+	N        int     `json:"n"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+}
+
+// Snapshot is the BENCH_kernel.json schema.
+type Snapshot struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	BenchTime  string   `json:"benchtime"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchkernel: ")
+	testing.Init() // registers test.* flags so test.benchtime resolves
+	var (
+		out       = flag.String("o", "BENCH_kernel.json", "output file (\"-\" for stdout)")
+		benchtime = flag.Duration("benchtime", time.Second, "minimum run time per case")
+		verbose   = flag.Bool("v", false, "log each case as it completes")
+	)
+	flag.Parse()
+
+	// testing.Benchmark honours the package-level benchtime flag.
+	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		log.Fatal(err)
+	}
+
+	snap := Snapshot{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchTime:  benchtime.String(),
+	}
+	for _, c := range kernelbench.Cases() {
+		r := testing.Benchmark(c.Bench)
+		res := Result{
+			Name:     c.Name,
+			N:        r.N,
+			NsPerOp:  float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+		}
+		snap.Results = append(snap.Results, res)
+		if *verbose {
+			log.Printf("%-28s %12.0f ns/op %8d B/op %6d allocs/op",
+				res.Name, res.NsPerOp, res.BytesOp, res.AllocsOp)
+		}
+	}
+
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -31,6 +31,21 @@ import (
 	"repro/internal/report"
 )
 
+// interruptContext returns a context cancelled by the first SIGINT. The
+// first Ctrl-C is consumed by signal.NotifyContext to begin a graceful
+// shutdown (workers drain, the checkpoint flushes inside campaign.Execute
+// before it returns); the moment cancellation starts, the default signal
+// handler is restored so a second Ctrl-C can force-quit a wedged run
+// instead of being swallowed.
+func interruptContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("campaign: ")
@@ -78,7 +93,7 @@ func main() {
 		log.Fatalf("bad -dft %q", *dftMode)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := interruptContext(context.Background())
 	defer stop()
 
 	start := time.Now()

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The interrupt tests re-execute this test binary as a child that runs
+// interruptContext around a slow "shutdown" (a stand-in for a checkpoint
+// flush that is taking a while, or a wedged run). The parent delivers
+// real SIGINTs and observes whether the child dies hard or finishes
+// gracefully — the exact contract of the cmd/campaign signal handling.
+func TestMain(m *testing.M) {
+	if os.Getenv("CAMPAIGN_TEST_INTERRUPT_CHILD") == "1" {
+		interruptChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func interruptChild() {
+	ctx, stop := interruptContext(context.Background())
+	defer stop()
+	fmt.Println("ready")
+	<-ctx.Done()
+	// Simulated post-cancellation shutdown work (checkpoint flush). A
+	// second SIGINT during this window must kill the process; without
+	// one the work completes and the exit is graceful.
+	time.Sleep(2 * time.Second)
+	fmt.Println("graceful")
+}
+
+// startInterruptChild launches the child and waits for it to install its
+// signal handler.
+func startInterruptChild(t *testing.T) (*exec.Cmd, *bufio.Reader) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "CAMPAIGN_TEST_INTERRUPT_CHILD=1")
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(out)
+	line, err := r.ReadString('\n')
+	if err != nil || strings.TrimSpace(line) != "ready" {
+		t.Fatalf("child handshake: %q, %v", line, err)
+	}
+	return cmd, r
+}
+
+// TestSecondInterruptForceQuits is the regression test for the swallowed
+// second Ctrl-C: after the first SIGINT starts the graceful shutdown,
+// interruptContext must restore the default handler so the next SIGINT
+// terminates the process immediately.
+func TestSecondInterruptForceQuits(t *testing.T) {
+	cmd, _ := startInterruptChild(t)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	// Give the cancellation goroutine time to restore the default
+	// handler, then deliver the force-quit.
+	time.Sleep(300 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("child exited cleanly; the second SIGINT was swallowed")
+		}
+	case <-time.After(1500 * time.Millisecond):
+		cmd.Process.Kill()
+		<-done
+		t.Fatal("child survived a second SIGINT (still in its shutdown sleep)")
+	}
+}
+
+// TestFirstInterruptShutsDownGracefully pins the other half of the
+// contract: a single SIGINT must not kill the process before the
+// shutdown work (the checkpoint flush) completes.
+func TestFirstInterruptShutsDownGracefully(t *testing.T) {
+	cmd, r := startInterruptChild(t)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	line, err := r.ReadString('\n')
+	if err != nil || strings.TrimSpace(line) != "graceful" {
+		t.Fatalf("child did not finish its shutdown work: %q, %v", line, err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown exited with error: %v", err)
+	}
+}

@@ -32,11 +32,47 @@ func classKey(macroName string, t AnalysisTarget) string {
 	return keyClass + macroName + "/" + strconv.Itoa(t.Index) + "/" + variant
 }
 
+// fingerprintV2 is the explicit wire form of the checkpoint fingerprint.
+// Every Config field is serialised under a stable key in this struct's
+// declaration order, so renaming or reordering Config fields cannot
+// silently change the fingerprint (and orphan valid checkpoints) the way
+// the old %+v formatting could. Adding a Config field that affects
+// results requires a deliberate edit here plus a version bump of
+// fingerprintVersion; TestFingerprintGolden pins the encoding.
+type fingerprintV2 struct {
+	Seed               int64   `json:"seed"`
+	Defects            int     `json:"defects"`
+	MagnitudeDefects   int     `json:"magnitude_defects"`
+	MCSamples          int     `json:"mc_samples"`
+	NSigma             float64 `json:"n_sigma"`
+	FloorA             float64 `json:"floor_a"`
+	SkipNonCat         bool    `json:"skip_non_cat"`
+	MaxClassesPerMacro int     `json:"max_classes_per_macro"`
+	DfT                bool    `json:"dft"`
+}
+
+const fingerprintVersion = "core-campaign-v2"
+
 // Fingerprint identifies the configuration of a campaign checkpoint: a
 // checkpoint written under one fingerprint cannot resume a run with a
-// different configuration.
+// different configuration. The string is a canonical versioned JSON
+// encoding of the configuration (see fingerprintV2).
 func Fingerprint(cfg Config, dft bool) string {
-	return fmt.Sprintf("core-campaign-v1|%+v|dft=%t", cfg, dft)
+	data, err := json.Marshal(fingerprintV2{
+		Seed:               cfg.Seed,
+		Defects:            cfg.Defects,
+		MagnitudeDefects:   cfg.MagnitudeDefects,
+		MCSamples:          cfg.MCSamples,
+		NSigma:             cfg.NSigma,
+		FloorA:             cfg.FloorA,
+		SkipNonCat:         cfg.SkipNonCat,
+		MaxClassesPerMacro: cfg.MaxClassesPerMacro,
+		DfT:                dft,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: fingerprint encoding: %v", err)) // unreachable: fixed scalar struct
+	}
+	return fingerprintVersion + "|" + string(data)
 }
 
 // decodeUnit rebuilds a typed unit result from checkpointed JSON.
@@ -144,9 +180,12 @@ func (p *Pipeline) mergeRun(dft bool, out *campaign.Outcome) (*Run, error) {
 			return nil, fmt.Errorf("core: campaign lost macro %s: %s",
 				name, out.Failed[keyMacro+name])
 		}
-		mr := v.(*MacroRun)
+		// Merge into a copy: the *MacroRun in out.Results is checkpointed
+		// campaign state, and nilling its analyses in place would corrupt
+		// the Outcome for any second merge or stats pass over it.
+		mr := *v.(*MacroRun)
 		mr.Cat, mr.NonCat = nil, nil
-		for _, t := range p.analysisTargets(mr) {
+		for _, t := range p.analysisTargets(&mr) {
 			cv, ok := out.Results[classKey(name, t)]
 			if !ok {
 				continue // failed unit: degrade coverage, keep going
@@ -158,7 +197,7 @@ func (p *Pipeline) mergeRun(dft bool, out *campaign.Outcome) (*Run, error) {
 				mr.Cat = append(mr.Cat, *ca)
 			}
 		}
-		run.Macros = append(run.Macros, mr)
+		run.Macros = append(run.Macros, &mr)
 	}
 	return run, nil
 }

@@ -1,0 +1,189 @@
+// Package kernelbench defines the analog-kernel benchmark suite in one
+// place so it can run both under `go test -bench` (bench_test.go at the
+// module root registers every case) and from cmd/benchkernel, which
+// executes the same cases with testing.Benchmark and emits the
+// machine-readable BENCH_kernel.json snapshot tracked in EXPERIMENTS.md.
+//
+// The cases cover the three altitudes of the hot path:
+//
+//   - solver: raw LU factor+solve at MNA-typical sizes
+//   - op/tran: Engine.OPAt and Engine.Transient on CMOS circuits, with
+//     the engine reused across iterations (the campaign's steady state)
+//   - analyzeclass: one full fault-class analysis unit of the pipeline,
+//     the quantum of work the parallel campaign schedules
+package kernelbench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/macros"
+	"repro/internal/netlist"
+	"repro/internal/solver"
+	"repro/internal/spice"
+)
+
+// Case is one named kernel benchmark.
+type Case struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// solverMatrix builds a deterministic well-conditioned dense test matrix
+// (diagonally dominant, off-diagonals from a fixed linear congruence).
+func solverMatrix(n int) *solver.Matrix {
+	m := solver.NewMatrix(n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			v := float64(state>>40)/float64(1<<24) - 0.5
+			m.Set(i, j, v)
+		}
+		m.Add(i, i, float64(n))
+	}
+	return m
+}
+
+// inverterChain builds a k-stage CMOS inverter chain driven by vdd (the
+// BenchmarkAblationSolver circuit, kept here so solver- and engine-level
+// numbers are measured on the same topology).
+func inverterChain(k int) *netlist.Builder {
+	bld := netlist.NewBuilder()
+	bld.Vsrc("vdd", "vdd", "0", netlist.DC(5))
+	in := "vdd"
+	for i := 0; i < k; i++ {
+		out := fmt.Sprintf("n%d", i)
+		bld.PMOS(fmt.Sprintf("p%d", i), out, in, "vdd", "vdd", 8, 1)
+		bld.NMOS(fmt.Sprintf("n%dm", i), out, in, "0", 4, 1)
+		in = out
+	}
+	return bld
+}
+
+// pulseChain is the transient workload: a 8-stage inverter chain with its
+// automatic gate/junction capacitors, kicked by a pulse.
+func pulseChain() *netlist.Builder {
+	bld := netlist.NewBuilder()
+	bld.Vsrc("vdd", "vdd", "0", netlist.DC(5))
+	bld.Vsrc("vin", "in", "0", netlist.Pulse{
+		V0: 0, V1: 5, Delay: 10e-9, Rise: 1e-9, Fall: 1e-9, Width: 40e-9,
+	})
+	in := "in"
+	for i := 0; i < 8; i++ {
+		out := fmt.Sprintf("n%d", i)
+		bld.PMOS(fmt.Sprintf("p%d", i), out, in, "vdd", "vdd", 8, 1)
+		bld.NMOS(fmt.Sprintf("n%dm", i), out, in, "0", 4, 1)
+		in = out
+	}
+	return bld
+}
+
+// analyzePipeline lazily builds (and warms) the shared pipeline for the
+// AnalyzeClass case: the good space and nominal responses are compiled
+// once, exactly as RunParallel warms them before scheduling class units.
+var (
+	analyzeOnce sync.Once
+	analyzePipe *core.Pipeline
+	analyzeErr  error
+)
+
+func analyzeSetup() (*core.Pipeline, error) {
+	analyzeOnce.Do(func() {
+		cfg := core.QuickConfig()
+		cfg.MCSamples = 5
+		analyzePipe = core.NewPipeline(cfg)
+		if _, err := analyzePipe.GoodSpace(false); err != nil {
+			analyzeErr = err
+			return
+		}
+		_, analyzeErr = analyzePipe.AnalyzeClass("ladder", ladderBridge(), false, false)
+	})
+	return analyzePipe, analyzeErr
+}
+
+// ladderBridge is the analysed class: the adjacent-tap ladder short of
+// BenchmarkAblationBridgeResistance, a mid-detectability workhorse.
+func ladderBridge() faults.Class {
+	return faults.Class{
+		Fault: faults.Fault{Kind: faults.Short, Nets: []string{"t096", "t128"}, Res: 25},
+		Count: 1,
+	}
+}
+
+// Cases returns the kernel benchmark suite.
+func Cases() []Case {
+	return []Case{
+		{Name: "solver/factor-solve-n32", Bench: func(b *testing.B) {
+			m := solverMatrix(32)
+			rhs := make([]float64, 32)
+			for i := range rhs {
+				rhs[i] = float64(i%7) - 3
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.SolveSystem(m, rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "op/inverter-chain-20", Bench: func(b *testing.B) {
+			eng := spice.New(inverterChain(20).C, spice.DefaultOptions())
+			if _, err := eng.OPAt(0); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.OPAt(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "tran/pulse-chain-100ns", Bench: func(b *testing.B) {
+			eng := spice.New(pulseChain().C, spice.DefaultOptions())
+			if _, err := eng.Transient(100e-9, 0.5e-9); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Transient(100e-9, 0.5e-9); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "tran/comparator-respond", Bench: func(b *testing.B) {
+			m := macros.NewComparator()
+			opt := macros.RespondOpts{Var: macros.Nominal(), CurrentsOnly: true}
+			if _, err := m.Respond(nil, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Respond(nil, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "analyzeclass/ladder-bridge", Bench: func(b *testing.B) {
+			p, err := analyzeSetup()
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := ladderBridge()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.AnalyzeClass("ladder", c, false, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}

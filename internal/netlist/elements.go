@@ -77,7 +77,7 @@ func (c *Capacitor) Stamp(ctx *Context, _ int) {
 		return
 	}
 	g := c.C / ctx.Dt
-	vPrev := ctx.XPrev(c.A) - ctx.XPrev(c.B)
+	vPrev := ctx.XPrevAt(c.A) - ctx.XPrevAt(c.B)
 	ctx.StampG(c.A, c.B, g)
 	// History source: i_eq = g * vPrev flowing B -> A (charging current
 	// continues in the established direction).

@@ -91,17 +91,122 @@ func (m *MOSFET) NumAux() int { return 0 }
 // Linear implements Element.
 func (m *MOSFET) Linear() bool { return false }
 
+// mosParams caches the bias-independent quantities of eval so a stamp
+// that evaluates the device several times (finite-difference Jacobian)
+// computes them once. Every field is produced by exactly the expression
+// eval historically used inline, so going through the cache leaves all
+// results bit-identical.
+type mosParams struct {
+	sign     float64 // +1 NMOS frame, -1 PMOS
+	vt0      float64 // threshold in the NMOS frame
+	phi      float64
+	sqrtPhi  float64 // math.Sqrt(Phi)
+	gamma    float64
+	lambda   float64
+	beta     float64 // KP * W / L
+	iwol     float64 // IOff * (W / L)
+	pmosFlip bool
+}
+
+// params derives the evaluation constants from the model card and
+// geometry. Called once per Stamp (or per standalone eval).
+func (m *MOSFET) params() mosParams {
+	mod := m.Model
+	p := mosParams{
+		sign:    1,
+		vt0:     mod.VT0,
+		phi:     mod.Phi,
+		sqrtPhi: math.Sqrt(mod.Phi),
+		gamma:   mod.Gamma,
+		lambda:  mod.Lambda,
+		beta:    mod.KP * m.W / m.L,
+		iwol:    mod.IOff * (m.W / m.L),
+	}
+	if mod.PMOS {
+		p.sign = -1
+		p.vt0 = -mod.VT0 // in the NMOS frame the threshold is positive
+		p.pmosFlip = true
+	}
+	return p
+}
+
+// thMemo is a one-entry memo for math.Tanh. Within one Stamp the
+// gate- and bulk-perturbed finite-difference evaluations keep vds — and
+// therefore the tanh argument — unchanged, so the memo collapses those
+// transcendental calls. Identical argument, identical value: results
+// stay bit-for-bit the same.
+type thMemo struct {
+	arg, val float64
+	ok       bool
+}
+
+func (c *thMemo) tanh(x float64) float64 {
+	if c.ok && x == c.arg {
+		return c.val
+	}
+	c.arg, c.val, c.ok = x, math.Tanh(x), true
+	return c.val
+}
+
+// idsP computes only the drain current for one bias point — the quantity
+// the finite-difference stamp consumes from every evaluation. It is the
+// ids computation of evalP with the small-signal branches removed; every
+// expression it does evaluate is written (and ordered) exactly as in
+// evalP, so the current is bit-identical.
+func (m *MOSFET) idsP(p *mosParams, th *thMemo, vd, vg, vs, vb float64) float64 {
+	if p.pmosFlip {
+		vd, vg, vs, vb = -vd, -vg, -vs, -vb
+	}
+	flip := false
+	if vd < vs {
+		vd, vs = vs, vd
+		flip = true
+	}
+	vgs := vg - vs
+	vds := vd - vs
+	vbs := vb - vs
+
+	sb := p.phi - vbs
+	if sb < 0.05 {
+		sb = 0.05
+	}
+	vth := p.vt0 + p.gamma*(math.Sqrt(sb)-p.sqrtPhi)
+	vov := vgs - vth
+	leak := p.iwol * th.tanh(vds/0.1)
+	ids := leak
+	switch {
+	case vov <= 0:
+		// Cutoff: leakage only.
+	case vds < vov:
+		cm := 1 + p.lambda*vds
+		ids = p.beta*(vov*vds-vds*vds/2)*cm + leak
+	default:
+		cm := 1 + p.lambda*vds
+		ids = p.beta/2*vov*vov*cm + leak
+	}
+	if flip {
+		ids = -ids
+	}
+	return ids * p.sign
+}
+
 // eval computes the drain current and small-signal conductances of the
 // intrinsic device for terminal voltages vd, vg, vs, vb (all relative to
 // ground), in the NMOS frame. Returns ids (current flowing D->S inside
 // the device), gm = ∂I/∂Vgs, gds = ∂I/∂Vds, gmb = ∂I/∂Vbs.
 func (m *MOSFET) eval(vd, vg, vs, vb float64) (ids, gm, gds, gmb float64) {
-	mod := m.Model
-	sign := 1.0
-	if mod.PMOS {
+	p := m.params()
+	var th thMemo
+	return m.evalP(&p, &th, vd, vg, vs, vb)
+}
+
+// evalP is eval with the derived constants and tanh memo supplied by the
+// caller; the arithmetic (expressions and their order) matches the
+// original inline form exactly.
+func (m *MOSFET) evalP(p *mosParams, th *thMemo, vd, vg, vs, vb float64) (ids, gm, gds, gmb float64) {
+	if p.pmosFlip {
 		// Evaluate the PMOS as an NMOS with inverted voltages.
 		vd, vg, vs, vb = -vd, -vg, -vs, -vb
-		sign = -1
 	}
 	// Source-drain symmetry: operate with vds >= 0.
 	flip := false
@@ -113,44 +218,39 @@ func (m *MOSFET) eval(vd, vg, vs, vb float64) (ids, gm, gds, gmb float64) {
 	vds := vd - vs
 	vbs := vb - vs
 
-	vt0 := mod.VT0
-	if mod.PMOS {
-		vt0 = -mod.VT0 // in the NMOS frame the threshold is positive
-	}
 	// Body effect (clamp the sqrt arguments).
-	phi := mod.Phi
-	sb := phi - vbs
+	sb := p.phi - vbs
 	if sb < 0.05 {
 		sb = 0.05
 	}
-	vth := vt0 + mod.Gamma*(math.Sqrt(sb)-math.Sqrt(phi))
-	dvthdvbs := -mod.Gamma / (2 * math.Sqrt(sb))
+	vth := p.vt0 + p.gamma*(math.Sqrt(sb)-p.sqrtPhi)
+	dvthdvbs := -p.gamma / (2 * math.Sqrt(sb))
 
-	beta := mod.KP * m.W / m.L
 	vov := vgs - vth
 	// Off-state leakage, present in every region for continuity at the
 	// cutoff boundary; tanh rolls it off smoothly through vds = 0.
-	leak := mod.IOff * (m.W / m.L) * math.Tanh(vds/0.1)
+	t := th.tanh(vds / 0.1)
+	leak := p.iwol * t
 	switch {
 	case vov <= 0:
 		// Cutoff: leakage only.
 		ids = leak
-		gds = mod.IOff * (m.W / m.L) / 0.1 * (1 - math.Tanh(vds/0.1)*math.Tanh(vds/0.1))
+		gds = p.iwol / 0.1 * (1 - t*t)
 		gm = 0
 		gmb = 0
 	case vds < vov:
 		// Linear (triode).
-		cm := 1 + mod.Lambda*vds
-		ids = beta*(vov*vds-vds*vds/2)*cm + leak
-		gm = beta * vds * cm
-		gds = beta*(vov-vds)*cm + beta*(vov*vds-vds*vds/2)*mod.Lambda
+		cm := 1 + p.lambda*vds
+		ids = p.beta*(vov*vds-vds*vds/2)*cm + leak
+		gm = p.beta * vds * cm
+		gds = p.beta*(vov-vds)*cm + p.beta*(vov*vds-vds*vds/2)*p.lambda
 		gmb = gm * (-dvthdvbs)
 	default:
 		// Saturation.
-		cm := 1 + mod.Lambda*vds
-		ids = beta/2*vov*vov*cm + leak
-		gm = beta * vov * cm
-		gds = beta / 2 * vov * vov * mod.Lambda
+		cm := 1 + p.lambda*vds
+		ids = p.beta/2*vov*vov*cm + leak
+		gm = p.beta * vov * cm
+		gds = p.beta / 2 * vov * vov * p.lambda
 		gmb = gm * (-dvthdvbs)
 	}
 	if flip {
@@ -160,7 +260,7 @@ func (m *MOSFET) eval(vd, vg, vs, vb float64) (ids, gm, gds, gmb float64) {
 		// derivatives versus the original voltages:
 		// I(D,S swapped) = -I'(...), handled in Stamp via re-eval.
 	}
-	ids *= sign
+	ids *= p.sign
 	return ids, gm, gds, gmb
 }
 
@@ -169,13 +269,20 @@ func (m *MOSFET) eval(vd, vg, vs, vb float64) (ids, gm, gds, gmb float64) {
 // sidesteps the sign bookkeeping of the polarity/source-swap frames and is
 // robust for a model this cheap.
 func (m *MOSFET) Stamp(ctx *Context, _ int) {
-	vd, vg, vs, vb := ctx.X(m.D), ctx.X(m.G), ctx.X(m.S), ctx.X(m.B)
+	vd, vg, vs, vb := ctx.XAt(m.D), ctx.XAt(m.G), ctx.XAt(m.S), ctx.XAt(m.B)
 	const h = 1e-6
-	i0, _, _, _ := m.eval(vd, vg, vs, vb)
-	id1, _, _, _ := m.eval(vd+h, vg, vs, vb)
-	ig1, _, _, _ := m.eval(vd, vg+h, vs, vb)
-	is1, _, _, _ := m.eval(vd, vg, vs+h, vb)
-	ib1, _, _, _ := m.eval(vd, vg, vs, vb+h)
+	// One parameter derivation and one tanh memo serve all five
+	// evaluations. The gate- and bulk-perturbed points keep vds unchanged,
+	// so evaluating them right after the base point lets the memo skip
+	// their tanh; the drain/source perturbations shift vds and miss. Each
+	// evaluation is a pure function, so reordering them changes nothing.
+	p := m.params()
+	var th thMemo
+	i0 := m.idsP(&p, &th, vd, vg, vs, vb)
+	ig1 := m.idsP(&p, &th, vd, vg+h, vs, vb)
+	ib1 := m.idsP(&p, &th, vd, vg, vs, vb+h)
+	id1 := m.idsP(&p, &th, vd+h, vg, vs, vb)
+	is1 := m.idsP(&p, &th, vd, vg, vs+h, vb)
 	gdd := (id1 - i0) / h
 	gdg := (ig1 - i0) / h
 	gds := (is1 - i0) / h
@@ -193,18 +300,18 @@ func (m *MOSFET) Stamp(ctx *Context, _ int) {
 			return
 		}
 		if j := idx(m.D); j >= 0 {
-			ctx.A(row, j, signv*gdd)
+			ctx.AddA(row, j, signv*gdd)
 		}
 		if j := idx(m.G); j >= 0 {
-			ctx.A(row, j, signv*gdg)
+			ctx.AddA(row, j, signv*gdg)
 		}
 		if j := idx(m.S); j >= 0 {
-			ctx.A(row, j, signv*gds)
+			ctx.AddA(row, j, signv*gds)
 		}
 		if j := idx(m.B); j >= 0 {
-			ctx.A(row, j, signv*gdb)
+			ctx.AddA(row, j, signv*gdb)
 		}
-		ctx.B(row, -signv*ieq)
+		ctx.AddB(row, -signv*ieq)
 	}
 	stampRow(dIdx, 1)
 	stampRow(sIdx, -1)

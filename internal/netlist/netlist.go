@@ -109,6 +109,64 @@ type Context struct {
 	// aux variables have indices assigned by the engine.
 	A func(i, j int, v float64)
 	B func(i int, v float64)
+
+	// ADense/BDense, when non-nil, are a dense row-major N×N matrix and
+	// length-N right-hand side that AddA/AddB accumulate into directly,
+	// bypassing the A/B closures on the stamping hot path. The engine
+	// sets them for live (per-iteration) assembly; recording contexts
+	// leave them nil so every op still flows through the closures. The
+	// additions performed are identical either way.
+	ADense, BDense []float64
+	N              int
+
+	// XDense/XPrevDense, when non-nil, back XAt/XPrevAt with direct
+	// indexed reads (node n at index n-1) instead of the X/XPrev
+	// closures. Values are identical either way.
+	XDense, XPrevDense []float64
+}
+
+// XAt returns the present iterate's voltage at a node, preferring the
+// dense fast path.
+func (ctx *Context) XAt(n NodeID) float64 {
+	if ctx.XDense != nil {
+		if n == Ground {
+			return 0
+		}
+		return ctx.XDense[int(n)-1]
+	}
+	return ctx.X(n)
+}
+
+// XPrevAt returns the previous accepted timestep's voltage at a node,
+// preferring the dense fast path.
+func (ctx *Context) XPrevAt(n NodeID) float64 {
+	if ctx.XPrevDense != nil {
+		if n == Ground {
+			return 0
+		}
+		return ctx.XPrevDense[int(n)-1]
+	}
+	return ctx.XPrev(n)
+}
+
+// AddA accumulates v into matrix entry (i, j) via the dense fast path
+// when available, else through the A closure.
+func (ctx *Context) AddA(i, j int, v float64) {
+	if ctx.ADense != nil {
+		ctx.ADense[i*ctx.N+j] += v
+		return
+	}
+	ctx.A(i, j, v)
+}
+
+// AddB accumulates v into right-hand-side row i via the dense fast path
+// when available, else through the B closure.
+func (ctx *Context) AddB(i int, v float64) {
+	if ctx.BDense != nil {
+		ctx.BDense[i] += v
+		return
+	}
+	ctx.B(i, v)
 }
 
 // idx converts a node to its MNA index (-1 for ground).
@@ -118,14 +176,14 @@ func idx(n NodeID) int { return int(n) - 1 }
 func (ctx *Context) StampG(a, b NodeID, g float64) {
 	ia, ib := idx(a), idx(b)
 	if ia >= 0 {
-		ctx.A(ia, ia, g)
+		ctx.AddA(ia, ia, g)
 	}
 	if ib >= 0 {
-		ctx.A(ib, ib, g)
+		ctx.AddA(ib, ib, g)
 	}
 	if ia >= 0 && ib >= 0 {
-		ctx.A(ia, ib, -g)
-		ctx.A(ib, ia, -g)
+		ctx.AddA(ia, ib, -g)
+		ctx.AddA(ib, ia, -g)
 	}
 }
 
@@ -133,10 +191,10 @@ func (ctx *Context) StampG(a, b NodeID, g float64) {
 // element to node b (leaving a, entering b).
 func (ctx *Context) StampI(a, b NodeID, i float64) {
 	if ia := idx(a); ia >= 0 {
-		ctx.B(ia, -i)
+		ctx.AddB(ia, -i)
 	}
 	if ib := idx(b); ib >= 0 {
-		ctx.B(ib, i)
+		ctx.AddB(ib, i)
 	}
 }
 
@@ -145,14 +203,14 @@ func (ctx *Context) StampI(a, b NodeID, i float64) {
 func (ctx *Context) StampVS(a, b NodeID, aux int, v float64) {
 	ia, ib := idx(a), idx(b)
 	if ia >= 0 {
-		ctx.A(ia, aux, 1)
-		ctx.A(aux, ia, 1)
+		ctx.AddA(ia, aux, 1)
+		ctx.AddA(aux, ia, 1)
 	}
 	if ib >= 0 {
-		ctx.A(ib, aux, -1)
-		ctx.A(aux, ib, -1)
+		ctx.AddA(ib, aux, -1)
+		ctx.AddA(aux, ib, -1)
 	}
-	ctx.B(aux, v)
+	ctx.AddB(aux, v)
 }
 
 // StampTransG stamps a transconductance: current g*(Vc-Vd) flowing from
@@ -160,16 +218,16 @@ func (ctx *Context) StampVS(a, b NodeID, aux int, v float64) {
 func (ctx *Context) StampTransG(a, b, cp, cn NodeID, g float64) {
 	ia, ib, ic, id := idx(a), idx(b), idx(cp), idx(cn)
 	if ia >= 0 && ic >= 0 {
-		ctx.A(ia, ic, g)
+		ctx.AddA(ia, ic, g)
 	}
 	if ia >= 0 && id >= 0 {
-		ctx.A(ia, id, -g)
+		ctx.AddA(ia, id, -g)
 	}
 	if ib >= 0 && ic >= 0 {
-		ctx.A(ib, ic, -g)
+		ctx.AddA(ib, ic, -g)
 	}
 	if ib >= 0 && id >= 0 {
-		ctx.A(ib, id, g)
+		ctx.AddA(ib, id, g)
 	}
 }
 

@@ -50,7 +50,12 @@ func (m *Matrix) Clone() *Matrix {
 
 // MulVec computes y = m·x.
 func (m *Matrix) MulVec(x []float64) []float64 {
-	y := make([]float64, m.N)
+	return m.MulVecInto(make([]float64, m.N), x)
+}
+
+// MulVecInto computes y = m·x into the caller-provided y (len m.N),
+// allocation-free. y must not alias x.
+func (m *Matrix) MulVecInto(y, x []float64) []float64 {
 	for i := 0; i < m.N; i++ {
 		var s float64
 		row := m.A[i*m.N : (i+1)*m.N]
@@ -82,12 +87,34 @@ type LU struct {
 	sign int
 }
 
+// NewLU returns a reusable factorisation workspace for n×n systems. A
+// single workspace amortises the pivot/permutation and triangular-factor
+// buffers across every Refactor/SolveInto of a Newton iteration loop.
+func NewLU(n int) *LU {
+	return &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+}
+
 // Factor computes the LU factorisation of m with partial pivoting. m is not
 // modified. Returns ErrSingular if a pivot magnitude falls below tiny.
 func Factor(m *Matrix) (*LU, error) {
-	n := m.N
-	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	f := NewLU(m.N)
+	if err := f.Refactor(m); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Refactor recomputes the factorisation of m in the workspace's cached
+// buffers, allocation-free. m must be n×n for the workspace's n; m is not
+// modified. The arithmetic is identical to Factor, so refactoring through
+// a reused workspace is bit-for-bit equivalent to a fresh factorisation.
+func (f *LU) Refactor(m *Matrix) error {
+	n := f.n
+	if m.N != n {
+		return fmt.Errorf("solver: refactor size %d into workspace of size %d", m.N, n)
+	}
 	copy(f.lu, m.A)
+	f.sign = 1
 	for i := range f.piv {
 		f.piv[i] = i
 	}
@@ -101,7 +128,7 @@ func Factor(m *Matrix) (*LU, error) {
 			}
 		}
 		if max < tiny {
-			return nil, fmt.Errorf("%w: pivot %d (|p|=%g)", ErrSingular, k, max)
+			return fmt.Errorf("%w: pivot %d (|p|=%g)", ErrSingular, k, max)
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -110,25 +137,36 @@ func Factor(m *Matrix) (*LU, error) {
 			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
 			f.sign = -f.sign
 		}
-		pivot := f.lu[k*n+k]
+		// Row slices let the compiler drop bounds checks in the update
+		// loop; the arithmetic and its order are unchanged.
+		rowk := f.lu[k*n : k*n+n]
+		pivot := rowk[k]
+		tail := rowk[k+1:]
 		for i := k + 1; i < n; i++ {
-			l := f.lu[i*n+k] / pivot
-			f.lu[i*n+k] = l
+			rowi := f.lu[i*n : i*n+n]
+			l := rowi[k] / pivot
+			rowi[k] = l
 			if l == 0 {
 				continue
 			}
-			for j := k + 1; j < n; j++ {
-				f.lu[i*n+j] -= l * f.lu[k*n+j]
+			ri := rowi[k+1:]
+			for j, v := range tail {
+				ri[j] -= l * v
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve returns x with A·x = b for the factored A. b is not modified.
 func (f *LU) Solve(b []float64) []float64 {
+	return f.SolveInto(make([]float64, f.n), b)
+}
+
+// SolveInto solves A·x = b for the factored A into the caller-provided x
+// (len n), allocation-free. b is not modified; x must not alias b.
+func (f *LU) SolveInto(x, b []float64) []float64 {
 	n := f.n
-	x := make([]float64, n)
 	// Apply permutation.
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
@@ -136,18 +174,20 @@ func (f *LU) Solve(b []float64) []float64 {
 	// Forward substitution (L has unit diagonal).
 	for i := 1; i < n; i++ {
 		var s float64
-		for j := 0; j < i; j++ {
-			s += f.lu[i*n+j] * x[j]
+		row := f.lu[i*n : i*n+i]
+		for j, v := range row {
+			s += v * x[j]
 		}
 		x[i] -= s
 	}
 	// Back substitution.
 	for i := n - 1; i >= 0; i-- {
 		var s float64
-		for j := i + 1; j < n; j++ {
-			s += f.lu[i*n+j] * x[j]
+		row := f.lu[i*n+i : i*n+n]
+		for j, v := range row[1:] {
+			s += v * x[i+1+j]
 		}
-		x[i] = (x[i] - s) / f.lu[i*n+i]
+		x[i] = (x[i] - s) / row[0]
 	}
 	return x
 }

@@ -1,0 +1,116 @@
+package spice
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// The OPAt fallback ladder (plain Newton → gmin stepping → source
+// stepping with an elevated-gmin retry per stalled rung) is observed
+// through Options.OPTrace. Each test here pins one path through the
+// ladder on a deterministic circuit: a feedback-wrapped inverter chain
+// whose convergence difficulty is tuned by the stage count, with
+// MaxIter chosen (empirically, via a trace sweep) so exactly the
+// intended rungs fire. The assertions are on the full trace sequence,
+// so a silently reordered or skipped rung fails loudly.
+
+// ladderChain builds a feedback inverter chain: `stages` CMOS inverters
+// driven off vdd, the last output fed back to the first input through a
+// resistor. More stages push the zero start further from the solution.
+func ladderChain(stages int) *netlist.Builder {
+	b := netlist.NewBuilder()
+	b.Vsrc("vdd", "vdd", "0", netlist.DC(5))
+	prev := "vdd"
+	for i := 0; i < stages; i++ {
+		out := nodeNameX(i)
+		b.PMOS("p"+out, out, prev, "vdd", "vdd", 40, 1)
+		b.NMOS("n"+out, out, prev, "0", 20, 1)
+		prev = out
+	}
+	b.R("fb", prev, nodeNameX(0), 10e3)
+	return b
+}
+
+// opTrace runs OP on the chain with the given iteration budget and
+// returns the ladder trace, the solution (nil on failure) and the error.
+func opTrace(t *testing.T, stages, maxIter int) ([]string, *Solution, error) {
+	t.Helper()
+	var trace []string
+	opt := DefaultOptions()
+	opt.MaxIter = maxIter
+	opt.OPTrace = func(stage string) { trace = append(trace, stage) }
+	sol, err := New(ladderChain(stages).C, opt).OP()
+	return trace, sol, err
+}
+
+// checkRails fails if any chain output escaped the supply rails — the
+// sanity check that a fallback rung delivered a physical solution, not
+// merely a converged one.
+func checkRails(t *testing.T, sol *Solution, stages int) {
+	t.Helper()
+	for i := 0; i < stages; i++ {
+		if v := sol.V(nodeNameX(i)); v < -0.1 || v > 5.1 {
+			t.Fatalf("stage %d out of rails: %g", i, v)
+		}
+	}
+}
+
+func TestOPAtPlainNewton(t *testing.T) {
+	// One stage with a comfortable budget: plain Newton from zero must
+	// converge without entering any fallback.
+	trace, sol, err := opTrace(t, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"newton-ok"}; !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	checkRails(t, sol, 1)
+}
+
+func TestOPAtGminStepping(t *testing.T) {
+	// Three stages at MaxIter=8: plain Newton runs out of iterations,
+	// but the gmin homotopy's warm-started rungs each converge and the
+	// final polish at baseline Gmin succeeds. Source stepping must not
+	// be reached.
+	trace, sol, err := opTrace(t, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"gmin", "gmin-ok"}; !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	checkRails(t, sol, 3)
+}
+
+func TestOPAtSourceSteppingWithGminRetry(t *testing.T) {
+	// Two stages at MaxIter=5: plain Newton and gmin stepping both
+	// starve, source stepping is entered, one rung stalls and is
+	// rescued by the elevated-gmin retry, and the ladder completes.
+	trace, sol, err := opTrace(t, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"gmin", "source", "source-gmin-retry", "source-ok"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	checkRails(t, sol, 2)
+}
+
+func TestOPAtLadderExhausted(t *testing.T) {
+	// Two stages at MaxIter=2: every rung starves, including the
+	// elevated-gmin retry; the error must be ErrNoConvergence and the
+	// trace must show the ladder was walked to the end.
+	trace, _, err := opTrace(t, 2, 2)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	want := []string{"gmin", "source", "source-gmin-retry"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}

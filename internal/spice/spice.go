@@ -29,6 +29,14 @@ type Options struct {
 	Gmin float64
 	// MaxStep clamps per-node Newton voltage updates (damping).
 	MaxStep float64
+	// OPTrace, if non-nil, observes the operating-point convergence
+	// ladder: "newton-ok" (plain Newton converged), "gmin" / "gmin-ok"
+	// (gmin-stepping homotopy entered / succeeded), "source" /
+	// "source-ok" (source stepping entered / succeeded) and
+	// "source-gmin-retry" every time a stalled source-stepping rung is
+	// re-attempted with elevated gmin. Intended for tests and diagnosis
+	// of hard-to-converge circuits.
+	OPTrace func(stage string)
 }
 
 // DefaultOptions returns robust settings for 5 V macro-cell circuits.
@@ -36,7 +44,24 @@ func DefaultOptions() Options {
 	return Options{AbsTol: 1e-6, RelTol: 1e-4, MaxIter: 150, Gmin: 1e-12, MaxStep: 1.0}
 }
 
-// Engine binds a circuit to the MNA solver.
+// aOp and bOp are recorded stamp operations: accumulate v into the
+// flattened matrix cell k, respectively RHS row i.
+type aOp struct {
+	k int
+	v float64
+}
+type bOp struct {
+	i int
+	v float64
+}
+
+// Engine binds a circuit to the MNA solver. All Newton/assembly/solve
+// working storage lives on the Engine and is reused across every OP,
+// transient step and AC linearisation, so steady-state simulation is
+// allocation-free; consequently an Engine must not be used from multiple
+// goroutines at once (the campaign layers create one engine per analysis,
+// which is also what amortises these workspaces over thousands of Newton
+// iterations).
 type Engine struct {
 	Ckt *netlist.Circuit
 	Opt Options
@@ -45,6 +70,53 @@ type Engine struct {
 	nNodeVars int
 	auxBase   []int          // per element index
 	auxOf     map[string]int // vsource name -> aux index
+
+	// progs caches the compiled per-mode stamp programs (lazily built:
+	// index by netlist.StampMode).
+	progs [2]*netlist.StampProgram
+
+	// Reusable Newton workspaces.
+	a      *solver.Matrix // MNA matrix
+	b      []float64      // RHS
+	lu     *solver.LU     // factorisation workspace (cached pivots)
+	wx     []float64      // current Newton iterate
+	xNew   []float64      // linear-solve target
+	zeros  []float64      // all-zero vector; never written
+	opX    []float64      // OPAt continuation iterate
+	subX   []float64      // transient local-refinement iterate
+	retryX []float64      // tranStep elevated-gmin intermediate
+
+	// Recorded linear-element ops for the current Newton solve, with
+	// per-linear-segment end offsets (parallel to the program's linear
+	// segments, in order).
+	recA    []aOp
+	recB    []bOp
+	segEndA []int
+	segEndB []int
+	curProg *netlist.StampProgram
+
+	// A-side recording cache. The matrix ops of the linear elements
+	// (Resistor, Capacitor, VSource, ISource) depend only on the stamp
+	// mode, dt, gmin and srcScale — never on Time or XPrev, which reach
+	// only the right-hand side — and element terminals are fixed once an
+	// engine exists (faults are injected before spice.New). So when a
+	// solve repeats the key of the previous recording (every transient
+	// step after the first), beginSolve keeps recA/segEndA and re-records
+	// just the B side, discarding the A-side stamps into a dump sink.
+	recValid               bool
+	recProg                *netlist.StampProgram
+	recDt, recGmin, recSrc float64
+	recAppendA             func(i, j int, v float64)
+
+	// Persistent stamping contexts: liveCtx accumulates straight into
+	// a/b (nonlinear per-iteration stamps), recCtx appends to recA/recB
+	// (linear once-per-solve recording). Their closures are built once
+	// here and read curX/curPrev indirectly, so assembly allocates
+	// nothing.
+	liveCtx *netlist.Context
+	recCtx  *netlist.Context
+	curX    []float64
+	curPrev []float64
 }
 
 // New prepares an engine for the circuit.
@@ -61,7 +133,73 @@ func New(ckt *netlist.Circuit, opt Options) *Engine {
 		}
 	}
 	e.nUnknowns = next
+
+	n := e.nUnknowns
+	e.a = solver.NewMatrix(n)
+	e.b = make([]float64, n)
+	e.lu = solver.NewLU(n)
+	e.wx = make([]float64, n)
+	e.xNew = make([]float64, n)
+	e.zeros = make([]float64, n)
+	e.opX = make([]float64, n)
+	e.subX = make([]float64, n)
+	e.retryX = make([]float64, n)
+
+	// The accumulation closures capture the backing slices directly
+	// (they are never reallocated) so each stamp call skips the pointer
+	// chases through the engine; X/XPrev must go through the engine
+	// because curX/curPrev are retargeted per solve.
+	aa, bb := e.a.A, e.b
+	e.liveCtx = &netlist.Context{
+		X: func(nd netlist.NodeID) float64 {
+			if nd == netlist.Ground {
+				return 0
+			}
+			return e.curX[int(nd)-1]
+		},
+		XPrev: func(nd netlist.NodeID) float64 {
+			if nd == netlist.Ground {
+				return 0
+			}
+			return e.curPrev[int(nd)-1]
+		},
+		A: func(i, j int, v float64) { aa[i*n+j] += v },
+		B: func(i int, v float64) { bb[i] += v },
+		// Dense fast path: nonlinear stamps during live assembly write
+		// the matrix and RHS directly instead of going through the
+		// closures above (same additions, same order).
+		ADense: aa,
+		BDense: bb,
+		N:      n,
+	}
+	e.recAppendA = func(i, j int, v float64) { e.recA = append(e.recA, aOp{i*n + j, v}) }
+	e.recCtx = &netlist.Context{
+		// Linear stamps are X-independent by contract; reading X while
+		// recording would silently replay a stale iterate, so fail fast.
+		X: func(netlist.NodeID) float64 {
+			panic("spice: linear element read X during stamp recording")
+		},
+		XPrev: func(nd netlist.NodeID) float64 {
+			if nd == netlist.Ground {
+				return 0
+			}
+			return e.curPrev[int(nd)-1]
+		},
+		A: e.recAppendA,
+		B: func(i int, v float64) { e.recB = append(e.recB, bOp{i, v}) },
+		N: n,
+	}
 	return e
+}
+
+// prog returns (compiling on first use) the stamp program for a mode.
+func (e *Engine) prog(mode netlist.StampMode) *netlist.StampProgram {
+	if p := e.progs[mode]; p != nil {
+		return p
+	}
+	p := netlist.CompileStamps(e.Ckt, mode, e.auxBase)
+	e.progs[mode] = p
+	return p
 }
 
 // Solution is a solved vector of node voltages and branch currents.
@@ -100,59 +238,116 @@ func (s *Solution) I(vsrc string) float64 {
 	return -s.X[aux]
 }
 
-// assemble builds the linearised MNA system at iterate x.
-func (e *Engine) assemble(a *solver.Matrix, b []float64, x, xPrev []float64,
-	mode netlist.StampMode, time, dt, gmin, srcScale float64) {
-	a.Zero()
+// beginSolve prepares one Newton solve: it configures both stamping
+// contexts for the solve-constant parameters and records the stamp ops of
+// every linear element into the replay buffers. Within a solve only the
+// iterate X changes, so the recording — including time-dependent source
+// values and the capacitors' backward-Euler companions against xPrev —
+// stays valid for every iteration.
+func (e *Engine) beginSolve(mode netlist.StampMode, time, dt, gmin, srcScale float64, xPrev []float64) {
+	e.curProg = e.prog(mode)
+	e.curPrev = xPrev
+	e.recB = e.recB[:0]
+	e.segEndB = e.segEndB[:0]
+	// The A-side recording can be kept whenever the previous solve
+	// recorded the same program under the same dt/gmin/srcScale (see the
+	// cache fields); then only the time/xPrev-dependent B side needs
+	// re-recording.
+	hit := e.recValid && e.recProg == e.curProg &&
+		e.recDt == dt && e.recGmin == gmin && e.recSrc == srcScale
+
+	rc := e.recCtx
+	rc.Mode, rc.Time, rc.Dt, rc.SrcScale, rc.Gmin = mode, time, dt, srcScale, gmin
+	rc.XPrevDense = xPrev
+	e.liveCtx.XPrevDense = xPrev
+	if hit {
+		// Discard A-side stamps by sinking them into the MNA matrix,
+		// which assemble zeroes before its first use anyway; the inlined
+		// dense writes are cheaper than a dropping closure call.
+		rc.ADense = e.a.A
+	} else {
+		rc.ADense = nil // route A ops to the recording closure
+		e.recA = e.recA[:0]
+		e.segEndA = e.segEndA[:0]
+	}
+	for _, seg := range e.curProg.Segs {
+		if !seg.Linear {
+			continue
+		}
+		for _, it := range e.curProg.Items[seg.From:seg.To] {
+			it.El.Stamp(rc, it.AuxBase)
+		}
+		if !hit {
+			e.segEndA = append(e.segEndA, len(e.recA))
+		}
+		e.segEndB = append(e.segEndB, len(e.recB))
+	}
+	e.recValid = true
+	e.recProg, e.recDt, e.recGmin, e.recSrc = e.curProg, dt, gmin, srcScale
+
+	lc := e.liveCtx
+	lc.Mode, lc.Time, lc.Dt, lc.SrcScale, lc.Gmin = mode, time, dt, srcScale, gmin
+}
+
+// assemble builds the linearised MNA system at iterate x by walking the
+// compiled stamp program: recorded linear ops are replayed and nonlinear
+// elements re-stamped, interleaved in original element order so the
+// floating-point accumulation order matches naive per-element stamping
+// bit for bit.
+func (e *Engine) assemble(x []float64) {
+	e.a.Zero()
+	b := e.b
 	for i := range b {
 		b[i] = 0
 	}
-	ctx := &netlist.Context{
-		Mode:     mode,
-		Time:     time,
-		Dt:       dt,
-		SrcScale: srcScale,
-		Gmin:     gmin,
-		X: func(n netlist.NodeID) float64 {
-			if n == netlist.Ground {
-				return 0
+	e.curX = x
+	e.liveCtx.XDense = x
+	aa := e.a.A
+	ai, bi, si := 0, 0, 0
+	for _, seg := range e.curProg.Segs {
+		if seg.Linear {
+			endA, endB := e.segEndA[si], e.segEndB[si]
+			si++
+			for ; ai < endA; ai++ {
+				op := e.recA[ai]
+				aa[op.k] += op.v
 			}
-			return x[int(n)-1]
-		},
-		XPrev: func(n netlist.NodeID) float64 {
-			if n == netlist.Ground {
-				return 0
+			for ; bi < endB; bi++ {
+				op := e.recB[bi]
+				b[op.i] += op.v
 			}
-			return xPrev[int(n)-1]
-		},
-		A: a.Add,
-		B: func(i int, v float64) { b[i] += v },
-	}
-	for i, el := range e.Ckt.Elems {
-		el.Stamp(ctx, e.auxBase[i])
+			continue
+		}
+		for _, it := range e.curProg.Items[seg.From:seg.To] {
+			it.El.Stamp(e.liveCtx, it.AuxBase)
+		}
 	}
 	// A tiny leak at every node keeps floating subcircuits solvable
 	// (split nets from open faults, gates of off devices, …).
 	const leak = 1e-12
+	n := e.nUnknowns
 	for i := 0; i < e.nNodeVars; i++ {
-		a.Add(i, i, leak)
+		aa[i*n+i] += leak
 	}
 }
 
-// newton runs Newton–Raphson from x0. Returns the converged vector.
-func (e *Engine) newton(x0, xPrev []float64, mode netlist.StampMode,
-	time, dt, gmin, srcScale float64) ([]float64, error) {
+// newton runs Newton–Raphson from x0 and writes the converged vector into
+// dst on success (dst is untouched on failure). dst may alias x0 and —
+// because xPrev is only read while recording the linear stamps up front —
+// also xPrev. All working state lives in the Engine workspaces, so a
+// solve performs no allocations.
+func (e *Engine) newton(dst, x0, xPrev []float64, mode netlist.StampMode,
+	time, dt, gmin, srcScale float64) error {
 	n := e.nUnknowns
-	x := append([]float64(nil), x0...)
-	a := solver.NewMatrix(n)
-	b := make([]float64, n)
+	x := e.wx
+	copy(x, x0)
+	e.beginSolve(mode, time, dt, gmin, srcScale, xPrev)
 	for iter := 0; iter < e.Opt.MaxIter; iter++ {
-		e.assemble(a, b, x, xPrev, mode, time, dt, gmin, srcScale)
-		lu, err := solver.Factor(a)
-		if err != nil {
-			return nil, fmt.Errorf("iter %d: %w", iter, err)
+		e.assemble(x)
+		if err := e.lu.Refactor(e.a); err != nil {
+			return fmt.Errorf("iter %d: %w", iter, err)
 		}
-		xNew := lu.Solve(b)
+		xNew := e.lu.SolveInto(e.xNew, e.b)
 		// Damp node-voltage updates; leave branch currents free.
 		conv := true
 		for i := 0; i < n; i++ {
@@ -176,10 +371,11 @@ func (e *Engine) newton(x0, xPrev []float64, mode netlist.StampMode,
 			x[i] += dx
 		}
 		if conv {
-			return x, nil
+			copy(dst, x)
+			return nil
 		}
 	}
-	return nil, ErrNoConvergence
+	return ErrNoConvergence
 }
 
 // OP computes the DC operating point at t = 0.
@@ -187,50 +383,64 @@ func (e *Engine) OP() (*Solution, error) {
 	return e.OPAt(0)
 }
 
+// trace reports an operating-point ladder stage to Options.OPTrace.
+func (e *Engine) trace(stage string) {
+	if e.Opt.OPTrace != nil {
+		e.Opt.OPTrace(stage)
+	}
+}
+
+// solution snapshots a workspace vector into a caller-owned Solution.
+func (e *Engine) solution(x []float64) *Solution {
+	return &Solution{e: e, X: append([]float64(nil), x...)}
+}
+
 // OPAt computes the DC operating point with time-dependent sources
 // evaluated at the given time (capacitors open).
 func (e *Engine) OPAt(time float64) (*Solution, error) {
-	zero := make([]float64, e.nUnknowns)
+	zero := e.zeros
+	x := e.opX
 
 	// 1. Plain Newton from zero.
-	if x, err := e.newton(zero, zero, netlist.DCOp, time, 0, e.Opt.Gmin, 1); err == nil {
-		return &Solution{e: e, X: x}, nil
+	if err := e.newton(x, zero, zero, netlist.DCOp, time, 0, e.Opt.Gmin, 1); err == nil {
+		e.trace("newton-ok")
+		return e.solution(x), nil
 	}
 
 	// 2. Gmin stepping.
-	x := zero
+	e.trace("gmin")
+	copy(x, zero)
 	ok := true
 	for g := 1e-2; g >= e.Opt.Gmin; g /= 10 {
-		nx, err := e.newton(x, zero, netlist.DCOp, time, 0, g, 1)
-		if err != nil {
+		if err := e.newton(x, x, zero, netlist.DCOp, time, 0, g, 1); err != nil {
 			ok = false
 			break
 		}
-		x = nx
 	}
 	if ok {
-		if fx, err := e.newton(x, zero, netlist.DCOp, time, 0, e.Opt.Gmin, 1); err == nil {
-			return &Solution{e: e, X: fx}, nil
+		if err := e.newton(x, x, zero, netlist.DCOp, time, 0, e.Opt.Gmin, 1); err == nil {
+			e.trace("gmin-ok")
+			return e.solution(x), nil
 		}
 	}
 
 	// 3. Source stepping.
-	x = zero
+	e.trace("source")
+	copy(x, zero)
 	for s := 0.05; ; s += 0.05 {
 		if s > 1 {
 			s = 1
 		}
-		nx, err := e.newton(x, zero, netlist.DCOp, time, 0, e.Opt.Gmin, s)
-		if err != nil {
+		if err := e.newton(x, x, zero, netlist.DCOp, time, 0, e.Opt.Gmin, s); err != nil {
 			// Retry the failed rung with elevated gmin before giving up.
-			nx, err = e.newton(x, zero, netlist.DCOp, time, 0, 1e-6, s)
-			if err != nil {
+			e.trace("source-gmin-retry")
+			if err := e.newton(x, x, zero, netlist.DCOp, time, 0, 1e-6, s); err != nil {
 				return nil, fmt.Errorf("%w (source stepping stalled at %.2f)", ErrNoConvergence, s)
 			}
 		}
-		x = nx
 		if s >= 1 {
-			return &Solution{e: e, X: x}, nil
+			e.trace("source-ok")
+			return e.solution(x), nil
 		}
 	}
 }
@@ -321,9 +531,9 @@ func (e *Engine) TransientSchedule(segs []TranSeg) (*Tran, error) {
 		return nil, fmt.Errorf("transient initial OP: %w", err)
 	}
 	tr := &Tran{e: e}
-	x := op.X
+	x := op.X // freshly allocated by OP; owned by tr from here on
 	tr.Times = append(tr.Times, 0)
-	tr.Xs = append(tr.Xs, append([]float64(nil), x...))
+	tr.Xs = append(tr.Xs, x)
 
 	t := 0.0
 	for _, seg := range segs {
@@ -335,33 +545,33 @@ func (e *Engine) TransientSchedule(segs []TranSeg) (*Tran, error) {
 }
 
 // runSegment advances the transient to tstop with nominal step dt,
-// appending snapshots to tr.
+// appending snapshots to tr. The only per-step allocation is the stored
+// snapshot itself — the engine workspaces carry everything else.
 func (e *Engine) runSegment(tr *Tran, x []float64, t, tstop, dt float64) ([]float64, float64, error) {
 	for t < tstop-1e-18 {
 		step := dt
 		if t+step > tstop {
 			step = tstop - t
 		}
-		nx, err := e.tranStep(x, t, step)
-		if err != nil {
+		nx := make([]float64, e.nUnknowns) // this step's stored snapshot
+		if err := e.tranStep(nx, x, t, step); err != nil {
 			// Local refinement: substeps at step/2^k.
 			solved := false
 			for k := 1; k <= 6 && !solved; k++ {
 				sub := step / math.Pow(2, float64(k))
-				xs := append([]float64(nil), x...)
+				xs := e.subX
+				copy(xs, x)
 				tt := t
 				okAll := true
 				for i := 0; i < 1<<k; i++ {
-					nxx, err2 := e.tranStep(xs, tt, sub)
-					if err2 != nil {
+					if err2 := e.tranStep(xs, xs, tt, sub); err2 != nil {
 						okAll = false
 						break
 					}
-					xs = nxx
 					tt += sub
 				}
 				if okAll {
-					nx = xs
+					copy(nx, xs)
 					solved = true
 				}
 			}
@@ -372,25 +582,27 @@ func (e *Engine) runSegment(tr *Tran, x []float64, t, tstop, dt float64) ([]floa
 		t += step
 		x = nx
 		tr.Times = append(tr.Times, t)
-		tr.Xs = append(tr.Xs, append([]float64(nil), x...))
+		tr.Xs = append(tr.Xs, nx)
 	}
 	return x, t, nil
 }
 
 // tranStep advances one backward-Euler step of size dt from state x at
-// time t, returning the state at t+dt.
-func (e *Engine) tranStep(x []float64, t, dt float64) ([]float64, error) {
-	nx, err := e.newton(x, x, netlist.Transient, t+dt, dt, e.Opt.Gmin, 1)
+// time t, writing the state at t+dt into dst. dst may alias x.
+func (e *Engine) tranStep(dst, x []float64, t, dt float64) error {
+	err := e.newton(dst, x, x, netlist.Transient, t+dt, dt, e.Opt.Gmin, 1)
 	if err == nil {
-		return nx, nil
+		return nil
 	}
-	// One retry with elevated gmin, then polish.
-	nx, err2 := e.newton(x, x, netlist.Transient, t+dt, dt, 1e-9, 1)
-	if err2 != nil {
-		return nil, err
+	// One retry with elevated gmin, then polish. The intermediate lands
+	// in retryX so the previous state x (which dst may alias) survives
+	// until the polish has read it.
+	if err2 := e.newton(e.retryX, x, x, netlist.Transient, t+dt, dt, 1e-9, 1); err2 != nil {
+		return err
 	}
-	if pol, err3 := e.newton(nx, x, netlist.Transient, t+dt, dt, e.Opt.Gmin, 1); err3 == nil {
-		return pol, nil
+	if err3 := e.newton(dst, e.retryX, x, netlist.Transient, t+dt, dt, e.Opt.Gmin, 1); err3 == nil {
+		return nil
 	}
-	return nx, nil
+	copy(dst, e.retryX)
+	return nil
 }

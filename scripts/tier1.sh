@@ -1,0 +1,30 @@
+#!/bin/sh
+# Tier-1 verification recipe. Run from the repository root:
+#
+#	./scripts/tier1.sh           # full pass (includes -race and slow pipeline tests)
+#	SHORT=1 ./scripts/tier1.sh   # faster iteration: -short skips the slow comparisons
+#
+# Stages:
+#   1. gofmt -l        — formatting drift fails the build
+#   2. go build / vet  — compile + static checks, whole tree
+#   3. go test (+race) — unit + integration tests
+#   4. bench smoke     — every benchmark runs once (-benchtime=1x) so the
+#                        table/figure and kernel benchmarks cannot bit-rot
+set -eu
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+short=${SHORT:+-short}
+
+go build ./...
+go vet ./...
+go test $short ./...
+go test $short -race ./...
+go test -bench=. -benchtime=1x ./...
+
+echo "tier1: all stages passed"
