@@ -55,11 +55,11 @@ func benchRuns(b *testing.B) (*core.Run, *core.Run) {
 	b.Helper()
 	benchOnce.Do(func() {
 		p := core.NewPipeline(benchCfg())
-		benchPre, benchErr = p.Run(false)
+		benchPre, benchErr = p.Run(context.Background(), false)
 		if benchErr != nil {
 			return
 		}
-		benchPost, benchErr = p.Run(true)
+		benchPost, benchErr = p.Run(context.Background(), true)
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -197,7 +197,7 @@ func BenchmarkAblationDefectCount(b *testing.B) {
 		cfg.Defects = n
 		cfg.MaxClassesPerMacro = 1 // discovery stats only
 		pp := core.NewPipeline(cfg)
-		run, err := pp.RunMacro("comparator", false)
+		run, err := pp.RunMacro(context.Background(), "comparator", false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -212,7 +212,7 @@ func BenchmarkAblationDefectCount(b *testing.B) {
 		cfg.Defects = 1000
 		cfg.MaxClassesPerMacro = 1
 		pp := core.NewPipeline(cfg)
-		if _, err := pp.RunMacro("ladder", false); err != nil {
+		if _, err := pp.RunMacro(context.Background(), "ladder", false); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -312,7 +312,7 @@ func BenchmarkAblationSpice(b *testing.B) {
 	opt := macros.RespondOpts{Var: macros.Nominal(), CurrentsOnly: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Respond(nil, opt); err != nil {
+		if _, err := m.Respond(context.Background(), nil, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -332,7 +332,7 @@ func BenchmarkAblationSolver(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := spice.New(bld.C, spice.DefaultOptions()).OP(); err != nil {
+		if _, err := spice.New(bld.C, spice.DefaultOptions()).OP(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -375,7 +375,7 @@ func BenchmarkAblationBridgeResistance(b *testing.B) {
 			Fault: faults.Fault{Kind: faults.Short, Nets: []string{"t096", "t128"}, Res: r},
 			Count: 1,
 		}
-		a, err := p.AnalyzeClass("ladder", c, false, false)
+		a, err := p.AnalyzeClass(context.Background(), "ladder", c, false, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -389,7 +389,7 @@ func BenchmarkAblationBridgeResistance(b *testing.B) {
 			Fault: faults.Fault{Kind: faults.Short, Nets: []string{"t096", "t128"}, Res: 25},
 			Count: 1,
 		}
-		if _, err := p.AnalyzeClass("ladder", c, false, false); err != nil {
+		if _, err := p.AnalyzeClass(context.Background(), "ladder", c, false, false); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -405,7 +405,7 @@ func BenchmarkYieldAndDefectLevel(b *testing.B) {
 		macros.NewComparator(), macros.NewLadder(), macros.NewBiasgen(),
 		macros.NewClockgen(), macros.NewDecoder(),
 	} {
-		y.AddMacro(m.Layout(false), proc, m.Count(), 4000, 1995)
+		y.AddMacro(context.Background(), m.Layout(false), proc, m.Count(), 4000, 1995)
 	}
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "critical area %.3g µm², λ=%.3g, yield %.1f%%\n",
@@ -425,7 +425,7 @@ func BenchmarkYieldAndDefectLevel(b *testing.B) {
 func BenchmarkExtensionACTest(b *testing.B) {
 	m := macros.NewComparator()
 	opt := macros.RespondOpts{Var: macros.Nominal()}
-	nom, err := m.AmplifierAC(nil, opt)
+	nom, err := m.AmplifierAC(context.Background(), nil, opt)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -433,7 +433,7 @@ func BenchmarkExtensionACTest(b *testing.B) {
 	fmt.Fprintf(&buf, "nominal amplifier: %.1f dB, BW %.3g Hz\n", nom.GainDB, nom.Bandwidth3dB)
 	for _, r := range []float64{2000, 1200, 800} {
 		f := &faults.Fault{Kind: faults.ThickOxPinhole, Nets: []string{"clk1", "vss"}, Res: r}
-		res, err := m.AmplifierAC(f, opt)
+		res, err := m.AmplifierAC(context.Background(), f, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -443,7 +443,7 @@ func BenchmarkExtensionACTest(b *testing.B) {
 	b.Log("\n" + buf.String())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.AmplifierAC(nil, opt); err != nil {
+		if _, err := m.AmplifierAC(context.Background(), nil, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -477,7 +477,7 @@ func BenchmarkCampaignSerial(b *testing.B) {
 	cfg := campaignBenchCfg()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.NewPipeline(cfg).Run(false); err != nil {
+		if _, err := core.NewPipeline(cfg).Run(context.Background(), false); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,7 +31,7 @@ func main() {
 
 	m := macros.NewComparator()
 	opt := macros.RespondOpts{Var: macros.Nominal()}
-	nom, err := m.AmplifierAC(nil, opt)
+	nom, err := m.AmplifierAC(context.Background(), nil, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func main() {
 		log.Fatalf("unknown fault %q", *faultKind)
 	}
 	f := &faults.Fault{Kind: faults.ThickOxPinhole, Nets: []string{"clk1", "vss"}, Res: *res}
-	faulty, err := m.AmplifierAC(f, opt)
+	faulty, err := m.AmplifierAC(context.Background(), f, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,12 +9,20 @@
 //
 //	campaign [-workers N] [-checkpoint file] [-resume] [-json-stats file]
 //	         [-defects N] [-mag N] [-mc N] [-seed S] [-dft pre|post|both]
-//	         [-maxclasses N] [-quick] [-json file] [-v]
+//	         [-maxclasses N] [-quick] [-json file] [-trace file.jsonl] [-v]
 //
-// A cancelled run (SIGINT) flushes its checkpoint before exiting, so
+// A cancelled run (SIGINT) flushes its checkpoint before exiting — the
+// cancellation reaches into the Newton/transient loops, so even a unit
+// stuck in a hard analog solve aborts in bounded time — and exits with
+// status 130, distinct from unit failures:
 //
 //	campaign -checkpoint run.ckpt            # interrupt it mid-run …
 //	campaign -checkpoint run.ckpt -resume    # … and pick up where it left off
+//
+// Run metrics always include the per-stage time breakdown (sprinkle,
+// collapse, inject, faultsim, classify, detect, goodspace); -trace
+// additionally streams every stage span as JSONL (see the README's
+// "Tracing" section for the schema).
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -63,6 +72,7 @@ func main() {
 		maxClasses = flag.Int("maxclasses", 0, "cap analysed classes per macro (0 = all)")
 		quick      = flag.Bool("quick", false, "small, fast configuration")
 		jsonOut    = flag.String("json", "", "also write a machine-readable summary to this file")
+		trace      = flag.String("trace", "", "write a JSONL span trace of every methodology stage to this file")
 		verbose    = flag.Bool("v", false, "log unit completions")
 	)
 	flag.Parse()
@@ -96,6 +106,16 @@ func main() {
 	ctx, stop := interruptContext(context.Background())
 	defer stop()
 
+	var jw *obs.JSONLWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		jw = obs.NewJSONLWriter(f)
+	}
+
 	start := time.Now()
 	for _, dft := range dfts {
 		label, suffix := "before DfT", ""
@@ -120,13 +140,33 @@ func main() {
 		}
 
 		fmt.Printf("==== Parallel campaign (%s) ====\n\n", label)
-		run, out, err := core.RunParallel(ctx, cfg, dft, opts)
+		// One pipeline and one stage aggregator per DfT setting, so the
+		// per-stage breakdown in the run metrics covers exactly this
+		// campaign; the JSONL trace (if any) spans both settings, with
+		// each record carrying its dft flag.
+		p := core.NewPipeline(cfg)
+		sinks := []obs.Sink{obs.NewAgg()}
+		if jw != nil {
+			sinks = append(sinks, jw)
+		}
+		p.Obs = obs.New(sinks...)
+		run, out, err := p.RunParallel(ctx, dft, opts)
 		if err != nil {
 			if out != nil {
 				out.Stats.Print(os.Stderr)
 			}
-			if ctx.Err() != nil && *checkpoint != "" {
-				log.Printf("interrupted; checkpoint flushed to %s — rerun with -resume", *checkpoint+suffix)
+			// A cancelled context is the user's doing, not a unit
+			// failure: report it distinctly and exit with the
+			// conventional SIGINT status. This branch also covers the
+			// race where every unit finished but the cancellation
+			// arrived before the merge — the partial Outcome is never
+			// reported as a completed run.
+			if ctx.Err() != nil {
+				if *checkpoint != "" {
+					log.Printf("interrupted; checkpoint flushed to %s — rerun with -resume", *checkpoint+suffix)
+				}
+				log.Printf("cancelled: %v", err)
+				os.Exit(130)
 			}
 			log.Fatal(err)
 		}
@@ -162,4 +202,10 @@ func main() {
 		}
 	}
 	fmt.Printf("total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+	if jw != nil {
+		if err := jw.Err(); err != nil {
+			log.Fatalf("trace write: %v", err)
+		}
+		fmt.Printf("wrote trace %s\n", *trace)
+	}
 }

@@ -3,12 +3,17 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
 )
 
 // The interrupt tests re-execute this test binary as a child that runs
@@ -21,7 +26,41 @@ func TestMain(m *testing.M) {
 		interruptChild()
 		return
 	}
+	if os.Getenv("CAMPAIGN_TEST_ANALYZE_CHILD") == "1" {
+		analyzeInterruptChild()
+		return
+	}
 	os.Exit(m.Run())
+}
+
+// analyzeInterruptChild runs a real (quick) campaign under
+// interruptContext, announcing unit completions on stdout so the parent
+// can deliver a SIGINT while class analyses — long analog fault
+// simulations — are in flight. The cancellation must reach into the
+// Newton/transient loops and return in bounded time, with the
+// checkpoint flushed.
+func analyzeInterruptChild() {
+	ctx, stop := interruptContext(context.Background())
+	defer stop()
+	cfg := core.QuickConfig()
+	opts := campaign.Options{
+		Workers:    2,
+		Checkpoint: os.Getenv("CAMPAIGN_TEST_CHECKPOINT"),
+		OnUnitDone: func(key string, restored bool) { fmt.Println("unit", key) },
+	}
+	fmt.Println("ready")
+	_, _, err := core.RunParallel(ctx, cfg, false, opts)
+	switch {
+	case err != nil && ctx.Err() != nil:
+		fmt.Println("cancelled")
+	case err != nil:
+		fmt.Println("error:", err)
+		os.Exit(1)
+	default:
+		// The run outpaced the parent's SIGINT; the parent treats this
+		// as inconclusive rather than failing.
+		fmt.Println("finished")
+	}
 }
 
 func interruptChild() {
@@ -86,6 +125,133 @@ func TestSecondInterruptForceQuits(t *testing.T) {
 		<-done
 		t.Fatal("child survived a second SIGINT (still in its shutdown sleep)")
 	}
+}
+
+// TestInterruptDuringAnalyzeLeavesResumableCheckpoint is the
+// end-to-end cancellation contract: a SIGINT delivered while class
+// analyses (long analog fault simulations) are running must (a) abort
+// the campaign within a bounded deadline — the context check inside the
+// Newton and transient loops is what makes this bounded, not the length
+// of a solve — and (b) leave a fingerprint-valid checkpoint from which
+// a second campaign resumes, restoring the interrupted run's completed
+// units instead of recomputing them.
+func TestInterruptDuringAnalyzeLeavesResumableCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real quick campaign twice")
+	}
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"CAMPAIGN_TEST_ANALYZE_CHILD=1",
+		"CAMPAIGN_TEST_CHECKPOINT="+ckpt)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Collect child stdout lines; interrupt once a few units have
+	// completed, which guarantees class analyses are in flight on the
+	// other worker.
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	readLine := func(timeout time.Duration) string {
+		select {
+		case l, ok := <-lines:
+			if !ok {
+				t.Fatal("child stdout closed early")
+			}
+			return l
+		case <-time.After(timeout):
+			t.Fatal("timed out waiting for child output")
+		}
+		panic("unreachable")
+	}
+	if l := readLine(30 * time.Second); l != "ready" {
+		t.Fatalf("handshake: %q", l)
+	}
+	units := 0
+	for units < 3 {
+		if strings.HasPrefix(readLine(60*time.Second), "unit ") {
+			units++
+		}
+	}
+	interruptAt := time.Now()
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain the remaining output, watching for the child's verdict.
+	verdict := ""
+	for l := range lines {
+		if l == "cancelled" || l == "finished" || strings.HasPrefix(l, "error:") {
+			verdict = l
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("child exited with error: %v (verdict %q)", err, verdict)
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		<-done
+		t.Fatal("cancellation did not abort the campaign within the deadline")
+	}
+	t.Logf("child shut down %s after SIGINT, verdict %q", time.Since(interruptAt).Round(time.Millisecond), verdict)
+	if verdict == "finished" {
+		t.Skip("campaign completed before the SIGINT landed; nothing to resume")
+	}
+	if verdict != "cancelled" {
+		t.Fatalf("child verdict %q, want cancelled", verdict)
+	}
+
+	// The flushed checkpoint must carry the configuration fingerprint
+	// and at least the units the child reported before the interrupt.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint not flushed: %v", err)
+	}
+	var ck struct {
+		Version     int                        `json:"version"`
+		Fingerprint string                     `json:"fingerprint"`
+		Results     map[string]json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(data, &ck); err != nil {
+		t.Fatalf("checkpoint unreadable: %v", err)
+	}
+	if want := core.Fingerprint(core.QuickConfig(), false); ck.Fingerprint != want {
+		t.Fatalf("checkpoint fingerprint = %q, want %q", ck.Fingerprint, want)
+	}
+	if len(ck.Results) == 0 {
+		t.Fatal("checkpoint has no completed units")
+	}
+
+	// And a resumed campaign must restore them rather than recompute.
+	run, outc, err := core.RunParallel(context.Background(), core.QuickConfig(), false,
+		campaign.Options{Workers: 2, Checkpoint: ckpt, Resume: true})
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if run == nil || len(run.Macros) == 0 {
+		t.Fatal("resumed run is empty")
+	}
+	if outc.Stats.Restored == 0 {
+		t.Fatal("resume restored no units from the checkpoint")
+	}
+	t.Logf("resume restored %d/%d units", outc.Stats.Restored, outc.Stats.UnitsTotal)
 }
 
 // TestFirstInterruptShutsDownGracefully pins the other half of the

@@ -5,13 +5,20 @@
 //
 //	dotest [-defects N] [-mag N] [-mc N] [-seed S] [-macro name|all]
 //	       [-dft pre|post|both] [-maxclasses N] [-nsigma X] [-quick]
-//	       [-workers N]
+//	       [-workers N] [-trace file.jsonl]
 //
 // With no flags it reproduces every experiment at full fidelity (several
 // minutes of CPU). -workers > 1 runs the per-macro sprinkles and
 // per-class fault simulations on the parallel campaign engine; the
 // output is bit-identical to the serial run. For checkpoint/resume and
 // run metrics use cmd/campaign.
+//
+// -trace streams one JSON object per finished methodology-stage span
+// (sprinkle, collapse, inject, faultsim, classify, detect, goodspace)
+// to the given file; see the README's "Tracing" section for the schema.
+// A SIGINT cancels the run: the cancellation reaches into the Newton
+// and transient loops, so even a long analog solve aborts in bounded
+// time.
 package main
 
 import (
@@ -20,10 +27,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -43,6 +52,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "small, fast configuration")
 		jsonOut    = flag.String("json", "", "also write a machine-readable summary to this file")
 		workers    = flag.Int("workers", 1, "parallel campaign workers (1 = serial, 0 = GOMAXPROCS)")
+		trace      = flag.String("trace", "", "write a JSONL span trace of every methodology stage to this file")
 	)
 	flag.Parse()
 
@@ -61,6 +71,25 @@ func main() {
 	}
 	p := core.NewPipeline(cfg)
 
+	// Fail fast on a bad -macro before compiling the good space or
+	// sprinkling a single defect.
+	if *macroName != "all" {
+		if err := p.ValidateMacro(*macroName); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var jw *obs.JSONLWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		jw = obs.NewJSONLWriter(f)
+		p.Obs = obs.New(jw)
+	}
+
 	var dfts []bool
 	switch *dftMode {
 	case "pre":
@@ -73,6 +102,12 @@ func main() {
 		log.Fatalf("bad -dft %q", *dftMode)
 	}
 
+	// A SIGINT cancels the context; the cancellation propagates into the
+	// analog kernel's Newton/transient loops, so the run aborts in
+	// bounded time even mid-solve.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
 	for _, dft := range dfts {
 		label := "before DfT"
@@ -81,9 +116,9 @@ func main() {
 		}
 		fmt.Printf("==== Defect-oriented test path (%s) ====\n\n", label)
 		if *macroName != "all" {
-			run, err := p.RunMacro(*macroName, dft)
+			run, err := p.RunMacro(ctx, *macroName, dft)
 			if err != nil {
-				log.Fatal(err)
+				fatal(ctx, err)
 			}
 			printMacro(run)
 			continue
@@ -91,13 +126,13 @@ func main() {
 		var run *core.Run
 		var err error
 		if *workers == 1 {
-			run, err = p.Run(dft)
+			run, err = p.Run(ctx, dft)
 		} else {
-			run, _, err = p.RunParallel(context.Background(), dft,
+			run, _, err = p.RunParallel(ctx, dft,
 				campaign.Options{Workers: *workers})
 		}
 		if err != nil {
-			log.Fatal(err)
+			fatal(ctx, err)
 		}
 		cmp := run.Macro("comparator")
 		printMacro(cmp)
@@ -123,6 +158,22 @@ func main() {
 		}
 	}
 	fmt.Printf("total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+	if jw != nil {
+		if err := jw.Err(); err != nil {
+			log.Fatalf("trace write: %v", err)
+		}
+		fmt.Printf("wrote trace %s\n", *trace)
+	}
+}
+
+// fatal reports a run error, distinguishing a user-driven cancellation
+// (exit 130, the conventional SIGINT status) from a pipeline failure.
+func fatal(ctx context.Context, err error) {
+	if ctx.Err() != nil {
+		log.Printf("cancelled: %v", err)
+		os.Exit(130)
+	}
+	log.Fatal(err)
 }
 
 func printMacro(run *core.MacroRun) {

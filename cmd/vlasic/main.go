@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -60,7 +61,10 @@ func main() {
 	}
 
 	sim := defectsim.New(cell, process.Default())
-	res := sim.Sprinkle(*defects, *seed)
+	res, err := sim.Sprinkle(context.Background(), *defects, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
 	classes := faults.Collapse(res.Faults)
 	fmt.Printf("%d defects -> %d faults (%.2f%%) -> %d classes\n\n",
 		res.Defects, len(res.Faults), 100*res.FaultRate(), len(classes))

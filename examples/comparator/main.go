@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,7 +31,10 @@ func main() {
 	cell := cmp.Layout(false)
 	fmt.Printf("comparator layout: %d shapes over %.0f µm²\n", len(cell.Shapes), cell.Area())
 	sim := defectsim.New(cell, process.Default())
-	res := sim.Sprinkle(*defects, 1995)
+	res, err := sim.Sprinkle(context.Background(), *defects, 1995)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("sprinkled %d defects -> %d circuit-level faults (%.2f%%)\n",
 		res.Defects, len(res.Faults), 100*res.FaultRate())
 
@@ -52,7 +56,7 @@ func main() {
 	cfg.Defects = *defects
 	cfg.MaxClassesPerMacro = *classes
 	p := core.NewPipeline(cfg)
-	run, err := p.RunMacro("comparator", false)
+	run, err := p.RunMacro(context.Background(), "comparator", false)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,11 +22,11 @@ func main() {
 
 	// Effect 1: the flipflop leakage spread dominates the pre-DfT
 	// sampling-phase IVdd bound.
-	pre, err := p.GoodSpace(false)
+	pre, err := p.GoodSpace(context.Background(), false)
 	if err != nil {
 		log.Fatal(err)
 	}
-	post, err := p.GoodSpace(true)
+	post, err := p.GoodSpace(context.Background(), true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func main() {
 		Count: 1,
 	}
 	for _, dft := range []bool{false, true} {
-		a, err := p.AnalyzeClass("biasgen", biasShort, false, dft)
+		a, err := p.AnalyzeClass(context.Background(), "biasgen", biasShort, false, dft)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,7 +55,7 @@ func main() {
 		Fault: faults.Fault{Kind: faults.Short, Nets: []string{"vbn1", "vbp1"}, Res: 0.2},
 		Count: 1,
 	}
-	a, err := p.AnalyzeClass("biasgen", npShort, false, true)
+	a, err := p.AnalyzeClass(context.Background(), "biasgen", npShort, false, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func main() {
 	// Effect 3: how the bias-line adjacency changes the defect
 	// statistics — compare the sprinkle on both layouts.
 	for _, dft := range []bool{false, true} {
-		run, err := p.RunMacro("biasgen", dft)
+		run, err := p.RunMacro(context.Background(), "biasgen", dft)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -76,7 +77,7 @@ func main() {
 	// Full-chip comparison on the comparator macro.
 	fmt.Println()
 	for _, dft := range []bool{false, true} {
-		run, err := p.RunMacro("comparator", dft)
+		run, err := p.RunMacro(context.Background(), "comparator", dft)
 		if err != nil {
 			log.Fatal(err)
 		}

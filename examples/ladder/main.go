@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	cfg.MaxClassesPerMacro = 60
 	p := core.NewPipeline(cfg)
 
-	run, err := p.RunMacro("ladder", false)
+	run, err := p.RunMacro(context.Background(), "ladder", false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func main() {
 				FarTerminals: []faults.Terminal{{Device: "r050", Net: "t050"}}}},
 	}
 	for _, c := range cases {
-		a, err := p.AnalyzeClass("ladder", faults.Class{Fault: c.f, Count: 1}, false, false)
+		a, err := p.AnalyzeClass(context.Background(), "ladder", faults.Class{Fault: c.f, Count: 1}, false, false)
 		if err != nil {
 			log.Fatal(err)
 		}

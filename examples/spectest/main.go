@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	p := core.NewPipeline(cfg)
 
 	fmt.Println("evaluating both test strategies over the sprinkled fault population...")
-	run, err := p.Run(false)
+	run, err := p.Run(context.Background(), false)
 	if err != nil {
 		log.Fatal(err)
 	}

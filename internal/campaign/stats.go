@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // GroupStats aggregates the units of one group (one macro, in the
@@ -45,6 +47,12 @@ type Stats struct {
 	Utilization float64 `json:"utilization"`
 	// Groups holds the per-group aggregates.
 	Groups map[string]*GroupStats `json:"groups"`
+	// Stages holds the per-methodology-stage observability aggregates
+	// (span count, summed wall time, hot-path counters) when the run was
+	// executed with an obs aggregator attached; nil otherwise. Stage wall
+	// times attribute — they do not partition — the campaign wall clock,
+	// because spans may nest (see internal/obs).
+	Stages map[string]*obs.StageStats `json:"stages,omitempty"`
 }
 
 // JSON serialises the snapshot.
@@ -71,6 +79,28 @@ func (s *Stats) Print(w io.Writer) {
 		}
 		if gs.Failed > 0 {
 			fmt.Fprintf(w, "  (%d FAILED)", gs.Failed)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(s.Stages) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "campaign: per-stage breakdown (wall time attributed, spans may nest):")
+	stages := make([]string, 0, len(s.Stages))
+	for st := range s.Stages {
+		stages = append(stages, st)
+	}
+	sort.Slice(stages, func(i, j int) bool {
+		return s.Stages[stages[i]].WallMS > s.Stages[stages[j]].WallMS
+	})
+	for _, st := range stages {
+		ss := s.Stages[st]
+		fmt.Fprintf(w, "campaign:   %-12s %6d spans %10.0f ms", st, ss.Spans, ss.WallMS)
+		if n := ss.Counters["newton_iters"]; n > 0 {
+			fmt.Fprintf(w, "  %d newton iters", n)
+		}
+		if n := ss.Counters["sprinkle_draws"]; n > 0 {
+			fmt.Fprintf(w, "  %d draws", n)
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -76,7 +77,7 @@ func TestTwoPassMagnitudeMapping(t *testing.T) {
 	cfg.MagnitudeDefects = 12000
 	cfg.MaxClassesPerMacro = 1 // statistics only
 	p := NewPipeline(cfg)
-	run, err := p.RunMacro("ladder", false)
+	run, err := p.RunMacro(context.Background(), "ladder", false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,19 +12,23 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/defectsim"
 	"repro/internal/faults"
 	"repro/internal/macros"
+	"repro/internal/obs"
 	"repro/internal/process"
 	"repro/internal/signature"
+	"repro/internal/spice"
 )
 
 // StreamSeed derives the RNG seed of one named Monte Carlo stream from
@@ -181,6 +185,10 @@ func (r *Run) Macro(name string) *MacroRun {
 type Pipeline struct {
 	Cfg  Config
 	Proc *process.Process
+	// Obs receives the stage spans (sprinkle, collapse, inject,
+	// faultsim, classify, detect, goodspace) of every analysis run on
+	// this pipeline. nil — the default — is the zero-cost noop.
+	Obs *obs.Observer
 
 	cmp     *macros.ComparatorMacro
 	ladder  *macros.LadderMacro
@@ -224,12 +232,18 @@ func (p *Pipeline) MacroNames() []string {
 
 // partsFor simulates the fault-free response of the chip-composition
 // macros under one variation.
-func (p *Pipeline) partsFor(v macros.Variation, dft bool, currentsOnly bool) (map[string]*signature.Response, error) {
-	opt := macros.RespondOpts{Var: v, DfT: dft, CurrentsOnly: currentsOnly}
+func (p *Pipeline) partsFor(ctx context.Context, v macros.Variation, dft bool, currentsOnly bool, met *obs.Metrics) (map[string]*signature.Response, error) {
+	opt := macros.RespondOpts{
+		Var: v, DfT: dft, CurrentsOnly: currentsOnly,
+		Obs: p.Obs, Metrics: met,
+	}
 	parts := map[string]*signature.Response{}
 	for _, m := range []macros.Macro{p.cmp, p.ladder, p.clock, p.decoder} {
-		resp, err := m.Respond(nil, opt)
+		resp, err := m.Respond(ctx, nil, opt)
 		if err != nil {
+			if spice.IsCancelled(err) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("core: nominal %s: %w", m.Name(), err)
 		}
 		parts[m.Name()] = resp
@@ -311,35 +325,42 @@ func (p *Pipeline) Chipify(parts map[string]*signature.Response, faultyMacro str
 // one DfT setting: a Monte Carlo over dies, each die one shared variation
 // drawn from its own per-die RNG stream — the same dies regardless of
 // DfT setting, sampling order or parallel scheduling.
-func (p *Pipeline) GoodSpace(dft bool) (*signature.GoodSpace, error) {
+func (p *Pipeline) GoodSpace(ctx context.Context, dft bool) (*signature.GoodSpace, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if g, ok := p.good[dft]; ok {
 		return g, nil
 	}
+	met := &obs.Metrics{}
+	sp := p.Obs.Start(obs.StageGoodSpace, "", "", dft, met)
 	var samples []*signature.Response
 	for i := 0; i < p.Cfg.MCSamples; i++ {
 		rng := rand.New(rand.NewSource(StreamSeed(p.Cfg.Seed, "goodspace", strconv.Itoa(i))))
 		v := macros.Draw(rng)
-		parts, err := p.partsFor(v, dft, true)
+		parts, err := p.partsFor(ctx, v, dft, true, met)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		samples = append(samples, p.Chipify(parts, "", nil))
 	}
 	g := signature.Compile(samples, p.Cfg.NSigma, p.Cfg.FloorA)
 	p.good[dft] = g
+	sp.End()
 	return g, nil
 }
 
 // nominals returns (and caches) the nominal-variation fault-free parts.
-func (p *Pipeline) nominals(dft bool) (map[string]*signature.Response, error) {
+func (p *Pipeline) nominals(ctx context.Context, dft bool) (map[string]*signature.Response, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if parts, ok := p.nomParts[dft]; ok {
 		return parts, nil
 	}
-	parts, err := p.partsFor(macros.Nominal(), dft, true)
+	parts, err := p.partsFor(ctx, macros.Nominal(), dft, true, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -354,35 +375,69 @@ func (p *Pipeline) macroByName(name string) (macros.Macro, error) {
 			return m, nil
 		}
 	}
-	return nil, fmt.Errorf("core: unknown macro %q", name)
+	return nil, fmt.Errorf("core: unknown macro %q (valid macros: %s)",
+		name, strings.Join(p.MacroNames(), ", "))
+}
+
+// ValidateMacro reports whether name resolves to a pipeline macro,
+// returning the same unknown-macro error as the run entry points. CLIs
+// use it to fail fast before any work is scheduled.
+func (p *Pipeline) ValidateMacro(name string) error {
+	_, err := p.macroByName(name)
+	return err
 }
 
 // AnalyzeClass runs the fault simulation + propagation + detection for
-// one fault class.
-func (p *Pipeline) AnalyzeClass(macroName string, c faults.Class, nonCat, dft bool) (*ClassAnalysis, error) {
+// one fault class. Cancelling ctx aborts the underlying solves in
+// bounded time; the returned error then satisfies spice.IsCancelled and
+// the half-finished analysis is discarded, never classified.
+func (p *Pipeline) AnalyzeClass(ctx context.Context, macroName string, c faults.Class, nonCat, dft bool) (*ClassAnalysis, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m, err := p.macroByName(macroName)
 	if err != nil {
 		return nil, err
 	}
-	good, err := p.GoodSpace(dft)
+	good, err := p.GoodSpace(ctx, dft)
 	if err != nil {
 		return nil, err
 	}
-	parts, err := p.nominals(dft)
+	parts, err := p.nominals(ctx, dft)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := m.Respond(&c.Fault, macros.RespondOpts{
+	// Span labels and the counter block exist only when an observer is
+	// attached — the noop default must not add a single allocation to
+	// the analysis path.
+	var label string
+	var met *obs.Metrics
+	if p.Obs != nil {
+		label = c.Fault.Key()
+		if nonCat {
+			label += ":noncat"
+		}
+		met = &obs.Metrics{}
+	}
+	resp, err := m.Respond(ctx, &c.Fault, macros.RespondOpts{
 		NonCat: nonCat, Var: macros.Nominal(), DfT: dft,
+		Obs: p.Obs, Class: label, Macro: macroName, Metrics: met,
 	})
 	if err != nil {
+		// A cancelled analysis must surface as an abort — folding it
+		// into a fault-free response would checkpoint a bogus result.
+		if spice.IsCancelled(err) || ctx.Err() != nil {
+			return nil, err
+		}
 		// Fault model not applicable to this netlist (e.g. the DfT
 		// redesign removed the structure): behaves fault-free.
 		resp = &signature.Response{Voltage: signature.VSigNone, Currents: map[string]float64{}}
 	}
+	sp := p.Obs.Start(obs.StageDetect, macroName, label, dft, met)
 	chip := p.Chipify(parts, macroName, resp)
 	det := Detection{Missing: resp.MissingCode}
 	det.IVdd, det.IDDQ, det.Iin = good.Detect(chip)
+	sp.End()
 	return &ClassAnalysis{Class: c, NonCat: nonCat, Resp: resp, Chip: chip, Det: det}, nil
 }
 
@@ -390,13 +445,18 @@ func (p *Pipeline) AnalyzeClass(macroName string, c faults.Class, nonCat, dft bo
 // front half of the test path for one macro: both sprinkle passes and the
 // class catalogue, but no class analyses. Each sprinkle draws from its
 // own (Seed, macro, pass) RNG stream.
-func (p *Pipeline) DiscoverClasses(macroName string, dft bool) (*MacroRun, error) {
+func (p *Pipeline) DiscoverClasses(ctx context.Context, macroName string, dft bool) (*MacroRun, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m, err := p.macroByName(macroName)
 	if err != nil {
 		return nil, err
 	}
 	cell := m.Layout(dft)
 	sim := defectsim.New(cell, p.Proc)
+	met := &obs.Metrics{}
+	sim.Metrics = met
 
 	// Two-pass statistics, as in the paper: the class catalogue comes
 	// from the discovery sprinkle (25 000 defects on the comparator);
@@ -404,14 +464,27 @@ func (p *Pipeline) DiscoverClasses(macroName string, dft bool) (*MacroRun, error
 	// statistically significant counts (the paper used 10 000 000).
 	// Magnitude-pass faults whose class was not discovered are counted
 	// as the unmatched tail.
-	discovery := sim.Sprinkle(p.Cfg.Defects, StreamSeed(p.Cfg.Seed, "sprinkle", macroName, "discovery"))
+	sp := p.Obs.Start(obs.StageSprinkle, macroName, "discovery", dft, met)
+	discovery, err := sim.Sprinkle(ctx, p.Cfg.Defects, StreamSeed(p.Cfg.Seed, "sprinkle", macroName, "discovery"))
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	sp = p.Obs.Start(obs.StageCollapse, macroName, "discovery", dft, met)
 	classes := faults.Collapse(discovery.Faults)
+	sp.End()
 	source := discovery
 	magDefects := 0
 	unmatched := 0
 	if p.Cfg.MagnitudeDefects > p.Cfg.Defects {
-		source = sim.Sprinkle(p.Cfg.MagnitudeDefects, StreamSeed(p.Cfg.Seed, "sprinkle", macroName, "magnitude"))
+		sp = p.Obs.Start(obs.StageSprinkle, macroName, "magnitude", dft, met)
+		source, err = sim.Sprinkle(ctx, p.Cfg.MagnitudeDefects, StreamSeed(p.Cfg.Seed, "sprinkle", macroName, "magnitude"))
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
 		magDefects = p.Cfg.MagnitudeDefects
+		sp = p.Obs.Start(obs.StageCollapse, macroName, "magnitude", dft, met)
 		byKey := map[string]int{}
 		for i := range classes {
 			byKey[classes[i].Fault.Key()] = i
@@ -439,6 +512,7 @@ func (p *Pipeline) DiscoverClasses(macroName string, dft bool) (*MacroRun, error
 			}
 			return classes[i].Fault.Key() < classes[j].Fault.Key()
 		})
+		sp.End()
 	}
 	run := &MacroRun{
 		Name:             m.Name(),
@@ -486,13 +560,13 @@ func (p *Pipeline) analysisTargets(run *MacroRun) []AnalysisTarget {
 }
 
 // RunMacro executes the complete defect-oriented test path for one macro.
-func (p *Pipeline) RunMacro(macroName string, dft bool) (*MacroRun, error) {
-	run, err := p.DiscoverClasses(macroName, dft)
+func (p *Pipeline) RunMacro(ctx context.Context, macroName string, dft bool) (*MacroRun, error) {
+	run, err := p.DiscoverClasses(ctx, macroName, dft)
 	if err != nil {
 		return nil, err
 	}
 	for _, t := range p.analysisTargets(run) {
-		ca, err := p.AnalyzeClass(macroName, run.Classes[t.Index], t.NonCat, dft)
+		ca, err := p.AnalyzeClass(ctx, macroName, run.Classes[t.Index], t.NonCat, dft)
 		if err != nil {
 			return nil, err
 		}
@@ -507,14 +581,14 @@ func (p *Pipeline) RunMacro(macroName string, dft bool) (*MacroRun, error) {
 
 // Run executes the whole methodology over every macro for one DfT
 // setting.
-func (p *Pipeline) Run(dft bool) (*Run, error) {
-	good, err := p.GoodSpace(dft)
+func (p *Pipeline) Run(ctx context.Context, dft bool) (*Run, error) {
+	good, err := p.GoodSpace(ctx, dft)
 	if err != nil {
 		return nil, err
 	}
 	out := &Run{Cfg: p.Cfg, DfT: dft, Good: good}
 	for _, m := range p.all {
-		mr, err := p.RunMacro(m.Name(), dft)
+		mr, err := p.RunMacro(ctx, m.Name(), dft)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestDetectionPredicates(t *testing.T) {
 
 func TestChipifyNominal(t *testing.T) {
 	p := NewPipeline(QuickConfig())
-	parts, err := p.nominals(false)
+	parts, err := p.nominals(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestChipifyNominal(t *testing.T) {
 
 func TestChipifyFaultySubstitution(t *testing.T) {
 	p := NewPipeline(QuickConfig())
-	parts, err := p.nominals(false)
+	parts, err := p.nominals(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,11 +86,11 @@ func TestGoodSpaceSamplingSpread(t *testing.T) {
 	cfg := QuickConfig()
 	cfg.MCSamples = 25
 	p := NewPipeline(cfg)
-	pre, err := p.GoodSpace(false)
+	pre, err := p.GoodSpace(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	post, err := p.GoodSpace(true)
+	post, err := p.GoodSpace(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestGoodSpaceSamplingSpread(t *testing.T) {
 		t.Fatalf("3σ sampling spread = %g, want ~15 mA scale", tot)
 	}
 	// Caching: same pointer second time.
-	again, _ := p.GoodSpace(false)
+	again, _ := p.GoodSpace(context.Background(), false)
 	if again != pre {
 		t.Fatal("good space must be cached")
 	}
@@ -115,7 +116,7 @@ func TestAnalyzeClassEndToEnd(t *testing.T) {
 	p := NewPipeline(QuickConfig())
 	// A hard comparator fault: output node shorted low → stuck → missing
 	// code.
-	ca, err := p.AnalyzeClass("comparator", faults.Class{
+	ca, err := p.AnalyzeClass(context.Background(), "comparator", faults.Class{
 		Fault: faults.Fault{Kind: faults.Short, Nets: []string{"o1", "vss"}, Res: 0.2},
 		Count: 3,
 	}, false, false)
@@ -126,7 +127,7 @@ func TestAnalyzeClassEndToEnd(t *testing.T) {
 		t.Fatalf("o1-vss short must be voltage-detected: %+v resp=%v", ca.Det, ca.Resp.Voltage)
 	}
 	// A ladder cross-row short: current-detected.
-	lc, err := p.AnalyzeClass("ladder", faults.Class{
+	lc, err := p.AnalyzeClass(context.Background(), "ladder", faults.Class{
 		Fault: faults.Fault{Kind: faults.Short, Nets: []string{"t096", "t128"}, Res: 0.2},
 		Count: 1,
 	}, false, false)
@@ -137,7 +138,7 @@ func TestAnalyzeClassEndToEnd(t *testing.T) {
 		t.Fatalf("cross-row ladder short must be Iinput-detected: %+v", lc.Det)
 	}
 	// The pre-DfT hard case: similar-bias short — neither mechanism.
-	bc, err := p.AnalyzeClass("biasgen", faults.Class{
+	bc, err := p.AnalyzeClass(context.Background(), "biasgen", faults.Class{
 		Fault: faults.Fault{Kind: faults.Short, Nets: []string{"vbn1", "vbn2"}, Res: 0.2},
 		Count: 1,
 	}, false, false)
@@ -156,7 +157,7 @@ func TestRunMacroQuickComparator(t *testing.T) {
 	cfg := QuickConfig()
 	cfg.MaxClassesPerMacro = 8
 	p := NewPipeline(cfg)
-	run, err := p.RunMacro("comparator", false)
+	run, err := p.RunMacro(context.Background(), "comparator", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestQuickConfigBounds(t *testing.T) {
 
 func TestUnknownMacro(t *testing.T) {
 	p := NewPipeline(QuickConfig())
-	if _, err := p.RunMacro("nope", false); err == nil {
+	if _, err := p.RunMacro(context.Background(), "nope", false); err == nil {
 		t.Fatal("unknown macro must error")
 	}
 	names := p.MacroNames()
@@ -283,7 +284,7 @@ func TestPipelineDeterminism(t *testing.T) {
 	cfg.MaxClassesPerMacro = 6
 	runOne := func() *MacroRun {
 		p := NewPipeline(cfg)
-		run, err := p.RunMacro("ladder", false)
+		run, err := p.RunMacro(context.Background(), "ladder", false)
 		if err != nil {
 			t.Fatal(err)
 		}

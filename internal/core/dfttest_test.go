@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/faults"
@@ -18,7 +19,7 @@ func TestDfTBiasShortFlip(t *testing.T) {
 	cfg.MCSamples = 15
 	p := NewPipeline(cfg)
 	analyse := func(nets []string, dft bool) *ClassAnalysis {
-		a, err := p.AnalyzeClass("biasgen", faults.Class{
+		a, err := p.AnalyzeClass(context.Background(), "biasgen", faults.Class{
 			Fault: faults.Fault{Kind: faults.Short, Nets: nets, Res: 0.2}, Count: 1,
 		}, false, dft)
 		if err != nil {

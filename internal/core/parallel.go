@@ -100,8 +100,8 @@ func (p *Pipeline) macroUnit(macroName string, dft bool) campaign.Unit {
 	return campaign.Unit{
 		Key:   keyMacro + macroName,
 		Group: macroName,
-		Run: func(context.Context) (any, error) {
-			return p.DiscoverClasses(macroName, dft)
+		Run: func(ctx context.Context) (any, error) {
+			return p.DiscoverClasses(ctx, macroName, dft)
 		},
 		Fanout: func(result any) []campaign.Unit {
 			run := result.(*MacroRun)
@@ -113,8 +113,8 @@ func (p *Pipeline) macroUnit(macroName string, dft bool) campaign.Unit {
 				units = append(units, campaign.Unit{
 					Key:   classKey(macroName, t),
 					Group: macroName,
-					Run: func(context.Context) (any, error) {
-						return p.AnalyzeClass(macroName, c, nonCat, dft)
+					Run: func(ctx context.Context) (any, error) {
+						return p.AnalyzeClass(ctx, macroName, c, nonCat, dft)
 					},
 				})
 			}
@@ -133,10 +133,10 @@ func (p *Pipeline) macroUnit(macroName string, dft bool) campaign.Unit {
 func (p *Pipeline) RunParallel(ctx context.Context, dft bool, opts campaign.Options) (*Run, *campaign.Outcome, error) {
 	// The good space and nominal responses are shared by every analysis
 	// unit: compile them up front, once, on the caller's goroutine.
-	if _, err := p.GoodSpace(dft); err != nil {
+	if _, err := p.GoodSpace(ctx, dft); err != nil {
 		return nil, nil, err
 	}
-	if _, err := p.nominals(dft); err != nil {
+	if _, err := p.nominals(ctx, dft); err != nil {
 		return nil, nil, err
 	}
 	if opts.Fingerprint == "" {
@@ -150,8 +150,20 @@ func (p *Pipeline) RunParallel(ctx context.Context, dft bool, opts campaign.Opti
 		roots = append(roots, p.macroUnit(name, dft))
 	}
 	out, err := campaign.Execute(ctx, opts, roots)
+	if out != nil {
+		// Fold the observability aggregate (when a snapshotting sink is
+		// attached) into the run metrics — including on cancellation, so
+		// an interrupted run still reports where its time went.
+		out.Stats.Stages = p.Obs.Stages()
+	}
 	if err != nil {
 		return nil, out, err
+	}
+	// A cancellation racing the engine's final checkpoint flush must not
+	// merge the partial outcome into a Run that looks complete: surface
+	// the context error, keeping the (resumable) Outcome.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, out, cerr
 	}
 	run, err := p.mergeRun(dft, out)
 	return run, out, err
@@ -167,7 +179,9 @@ func RunParallel(ctx context.Context, cfg Config, dft bool, opts campaign.Option
 // canonical pipeline order: macros in pipeline order, class analyses in
 // descending-magnitude class order — exactly the serial traversal.
 func (p *Pipeline) mergeRun(dft bool, out *campaign.Outcome) (*Run, error) {
-	good, err := p.GoodSpace(dft)
+	// The good space was compiled (and cached) before the campaign ran;
+	// this lookup is a cache hit, so a background context is fine.
+	good, err := p.GoodSpace(context.Background(), dft)
 	if err != nil {
 		return nil, err
 	}

@@ -48,7 +48,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		t.Skip("full pipeline comparison in -short mode")
 	}
 	cfg := parallelTestCfg()
-	serial, err := core.NewPipeline(cfg).Run(false)
+	serial, err := core.NewPipeline(cfg).Run(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,12 +9,14 @@
 package defectsim
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
 	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/process"
 )
 
@@ -38,6 +40,8 @@ func (r *Result) FaultRate() float64 {
 type Simulator struct {
 	Cell *layout.Cell
 	Proc *process.Process
+	// Metrics, when non-nil, counts sprinkled defects (CtrSprinkleDraws).
+	Metrics *obs.Metrics
 
 	graph *netGraph
 }
@@ -49,11 +53,20 @@ func New(cell *layout.Cell, proc *process.Process) *Simulator {
 }
 
 // Sprinkle drops n defects with the given seed and extracts the faults.
-func (s *Simulator) Sprinkle(n int, seed int64) *Result {
+// Cancelling ctx aborts the Monte Carlo between draws; the partial result
+// is discarded and ctx.Err() returned.
+func (s *Simulator) Sprinkle(ctx context.Context, n int, seed int64) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rng := rand.New(rand.NewSource(seed))
 	res := &Result{Defects: n}
 	b := s.Cell.Bounds().Expand(1)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s.Metrics.Add(obs.CtrSprinkleDraws, 1)
 		spec := s.Proc.PickDefect(rng)
 		d := geom.Disk{
 			C: geom.Point{
@@ -66,7 +79,7 @@ func (s *Simulator) Sprinkle(n int, seed int64) *Result {
 			res.Faults = append(res.Faults, f)
 		}
 	}
-	return res
+	return res, nil
 }
 
 // extract maps one defect to at most one circuit-level fault.

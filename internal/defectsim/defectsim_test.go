@@ -1,6 +1,7 @@
 package defectsim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/faults"
@@ -196,8 +197,14 @@ func TestExtractNewDevice(t *testing.T) {
 func TestSprinkleDeterministicAndSane(t *testing.T) {
 	cell := twoWires()
 	s := New(cell, process.Default())
-	r1 := s.Sprinkle(5000, 42)
-	r2 := s.Sprinkle(5000, 42)
+	r1, err := s.Sprinkle(context.Background(), 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Sprinkle(context.Background(), 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r1.Faults) != len(r2.Faults) {
 		t.Fatal("same seed must reproduce the same fault list")
 	}
@@ -206,7 +213,10 @@ func TestSprinkleDeterministicAndSane(t *testing.T) {
 			t.Fatal("fault sequence mismatch")
 		}
 	}
-	r3 := s.Sprinkle(5000, 43)
+	r3, err := s.Sprinkle(context.Background(), 5000, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r3.Faults) == len(r1.Faults) {
 		// Extremely unlikely to match exactly; tolerate but check content.
 		same := true

@@ -1,6 +1,7 @@
 package defectsim
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/layout"
@@ -38,15 +39,19 @@ func NewYieldModel(defectsPerCm2 float64) *YieldModel {
 
 // AddMacro measures a macro's critical area by Monte Carlo: the fraction
 // of sprinkled defects that cause faults, times the sprinkled area.
-func (y *YieldModel) AddMacro(cell *layout.Cell, proc *process.Process, count, defects int, seed int64) {
+func (y *YieldModel) AddMacro(ctx context.Context, cell *layout.Cell, proc *process.Process, count, defects int, seed int64) error {
 	sim := New(cell, proc)
-	res := sim.Sprinkle(defects, seed)
+	res, err := sim.Sprinkle(ctx, defects, seed)
+	if err != nil {
+		return err
+	}
 	sprinkleArea := cell.Bounds().Expand(1).Area()
 	y.entries = append(y.entries, yieldEntry{
 		name:     cell.Name,
 		count:    count,
 		critical: res.FaultRate() * sprinkleArea,
 	})
+	return nil
 }
 
 // CriticalArea returns the total critical area of the die in µm².

@@ -1,6 +1,7 @@
 package defectsim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -17,7 +18,7 @@ func yieldCell() *layout.Cell {
 
 func TestYieldModelBasics(t *testing.T) {
 	y := NewYieldModel(100) // 100 defects/cm²
-	y.AddMacro(yieldCell(), process.Default(), 10, 4000, 1)
+	y.AddMacro(context.Background(), yieldCell(), process.Default(), 10, 4000, 1)
 	if y.CriticalArea() <= 0 {
 		t.Fatal("critical area must be positive")
 	}
@@ -38,7 +39,7 @@ func TestYieldMonotoneInDensity(t *testing.T) {
 	lo := NewYieldModel(10)
 	hi := NewYieldModel(1000)
 	for _, y := range []*YieldModel{lo, hi} {
-		y.AddMacro(yieldCell(), process.Default(), 1, 2000, 1)
+		y.AddMacro(context.Background(), yieldCell(), process.Default(), 1, 2000, 1)
 	}
 	if lo.Yield() <= hi.Yield() {
 		t.Fatalf("yield must fall with density: %g vs %g", lo.Yield(), hi.Yield())
@@ -47,7 +48,7 @@ func TestYieldMonotoneInDensity(t *testing.T) {
 
 func TestDefectLevel(t *testing.T) {
 	y := NewYieldModel(200)
-	y.AddMacro(yieldCell(), process.Default(), 50, 2000, 1)
+	y.AddMacro(context.Background(), yieldCell(), process.Default(), 50, 2000, 1)
 	// Perfect coverage ships zero defects.
 	if dl := y.DefectLevel(1.0); dl > 1e-9 {
 		t.Fatalf("DL(100%%) = %g", dl)
@@ -69,7 +70,7 @@ func TestDefectLevel(t *testing.T) {
 
 func TestDefectLevelDegenerateYield(t *testing.T) {
 	y := NewYieldModel(1e12)
-	y.AddMacro(yieldCell(), process.Default(), 1000000, 500, 1)
+	y.AddMacro(context.Background(), yieldCell(), process.Default(), 1000000, 500, 1)
 	// Yield underflows to ~0: defect level saturates rather than NaN.
 	if dl := y.DefectLevel(0.9); math.IsNaN(dl) {
 		t.Fatal("NaN defect level")

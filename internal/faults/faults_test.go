@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -142,7 +143,7 @@ func divider() *netlist.Builder {
 
 func solveOP(t *testing.T, b *netlist.Builder) *spice.Solution {
 	t.Helper()
-	sol, err := spice.New(b.C, spice.DefaultOptions()).OP()
+	sol, err := spice.New(b.C, spice.DefaultOptions()).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

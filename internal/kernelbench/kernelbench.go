@@ -14,6 +14,7 @@
 package kernelbench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -96,11 +97,11 @@ func analyzeSetup() (*core.Pipeline, error) {
 		cfg := core.QuickConfig()
 		cfg.MCSamples = 5
 		analyzePipe = core.NewPipeline(cfg)
-		if _, err := analyzePipe.GoodSpace(false); err != nil {
+		if _, err := analyzePipe.GoodSpace(context.Background(), false); err != nil {
 			analyzeErr = err
 			return
 		}
-		_, analyzeErr = analyzePipe.AnalyzeClass("ladder", ladderBridge(), false, false)
+		_, analyzeErr = analyzePipe.AnalyzeClass(context.Background(), "ladder", ladderBridge(), false, false)
 	})
 	return analyzePipe, analyzeErr
 }
@@ -133,26 +134,26 @@ func Cases() []Case {
 		}},
 		{Name: "op/inverter-chain-20", Bench: func(b *testing.B) {
 			eng := spice.New(inverterChain(20).C, spice.DefaultOptions())
-			if _, err := eng.OPAt(0); err != nil {
+			if _, err := eng.OPAt(context.Background(), 0); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.OPAt(0); err != nil {
+				if _, err := eng.OPAt(context.Background(), 0); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
 		{Name: "tran/pulse-chain-100ns", Bench: func(b *testing.B) {
 			eng := spice.New(pulseChain().C, spice.DefaultOptions())
-			if _, err := eng.Transient(100e-9, 0.5e-9); err != nil {
+			if _, err := eng.Transient(context.Background(), 100e-9, 0.5e-9); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.Transient(100e-9, 0.5e-9); err != nil {
+				if _, err := eng.Transient(context.Background(), 100e-9, 0.5e-9); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -160,13 +161,13 @@ func Cases() []Case {
 		{Name: "tran/comparator-respond", Bench: func(b *testing.B) {
 			m := macros.NewComparator()
 			opt := macros.RespondOpts{Var: macros.Nominal(), CurrentsOnly: true}
-			if _, err := m.Respond(nil, opt); err != nil {
+			if _, err := m.Respond(context.Background(), nil, opt); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := m.Respond(nil, opt); err != nil {
+				if _, err := m.Respond(context.Background(), nil, opt); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -180,7 +181,7 @@ func Cases() []Case {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := p.AnalyzeClass("ladder", c, false, false); err != nil {
+				if _, err := p.AnalyzeClass(context.Background(), "ladder", c, false, false); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package macros
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -26,7 +27,7 @@ type ACResult struct {
 // extension: the paper observes that clock-value faults, invisible to the
 // simple DC tests, typically disturb exactly this high-frequency
 // behaviour.
-func (m *ComparatorMacro) AmplifierAC(f *faults.Fault, opt RespondOpts) (*ACResult, error) {
+func (m *ComparatorMacro) AmplifierAC(ctx context.Context, f *faults.Fault, opt RespondOpts) (*ACResult, error) {
 	b := m.buildComparatorCircuit(m.VRef, opt)
 	// Hold the circuit in the tracking configuration: clk1 high (input
 	// switches on, so the DC operating point sees the inputs — in a DC
@@ -41,8 +42,8 @@ func (m *ComparatorMacro) AmplifierAC(f *faults.Fault, opt RespondOpts) (*ACResu
 			return nil, err
 		}
 	}
-	eng := spice.New(b.C, spice.DefaultOptions())
-	op, err := eng.OPAt(370e-9)
+	eng := spice.New(b.C, opt.simOptions())
+	op, err := eng.OPAt(ctx, 370e-9)
 	if err != nil {
 		return nil, fmt.Errorf("macros: amplifier OP: %w", err)
 	}

@@ -1,6 +1,7 @@
 package macros
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestAmplifierACNominal(t *testing.T) {
 	m := NewComparator()
-	res, err := m.AmplifierAC(nil, RespondOpts{Var: Nominal()})
+	res, err := m.AmplifierAC(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestAmplifierACNominal(t *testing.T) {
 
 func TestAmplifierACClockValueFaultDeviates(t *testing.T) {
 	m := NewComparatorWithRef(2.0)
-	nom, err := m.AmplifierAC(nil, RespondOpts{Var: Nominal()})
+	nom, err := m.AmplifierAC(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestAmplifierACClockValueFaultDeviates(t *testing.T) {
 	// 800 Ω keeps the switch conducting (the DC behaviour stays clean)
 	// while the sagged gate drive cuts the tracking bandwidth by ~40 %.
 	f := &faults.Fault{Kind: faults.ThickOxPinhole, Nets: []string{"clk1", "vss"}, Res: 800}
-	faulty, err := m.AmplifierAC(f, RespondOpts{Var: Nominal()})
+	faulty, err := m.AmplifierAC(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,13 +65,13 @@ func TestACDeviatesPredicate(t *testing.T) {
 
 func TestAmplifierACGainFaultVisible(t *testing.T) {
 	m := NewComparator()
-	nom, err := m.AmplifierAC(nil, RespondOpts{Var: Nominal()})
+	nom, err := m.AmplifierAC(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Shorting one load diode kills half the gain path asymmetrically.
 	f := &faults.Fault{Kind: faults.ShortedDevice, Device: "m3"}
-	faulty, err := m.AmplifierAC(f, RespondOpts{Var: Nominal()})
+	faulty, err := m.AmplifierAC(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package macros
 
 import (
+	"context"
+
 	"repro/internal/faults"
 	"repro/internal/layout"
 	"repro/internal/process"
@@ -28,8 +30,8 @@ func (m *BiasgenMacro) Name() string { return "biasgen" }
 func (m *BiasgenMacro) Count() int { return 1 }
 
 // Respond implements Macro.
-func (m *BiasgenMacro) Respond(f *faults.Fault, opt RespondOpts) (*signature.Response, error) {
-	resp, err := m.cmp.Respond(f, opt)
+func (m *BiasgenMacro) Respond(ctx context.Context, f *faults.Fault, opt RespondOpts) (*signature.Response, error) {
+	resp, err := m.cmp.Respond(ctx, f, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,14 @@
 package macros
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/faults"
 	"repro/internal/layout"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/signature"
 	"repro/internal/spice"
 )
@@ -63,21 +65,26 @@ var cgStates = [][3]float64{
 
 // Respond implements Macro: a DC operating point per static state, with
 // IDDQ and output-level observations.
-func (m *ClockgenMacro) Respond(f *faults.Fault, opt RespondOpts) (*signature.Response, error) {
+func (m *ClockgenMacro) Respond(ctx context.Context, f *faults.Fault, opt RespondOpts) (*signature.Response, error) {
 	resp := &signature.Response{Currents: map[string]float64{}}
 	vdd := VDD * opt.Var.VddScale
 	stuck := false
 	deviant := false
 	for si, st := range cgStates {
+		sp := opt.span(obs.StageInject, m.Name())
 		b := m.buildClockgenCircuit(st, opt.Var)
 		if f != nil {
 			if err := faults.Inject(b.C, *f, procShared, faults.InjectOptions{NonCat: opt.NonCat}); err != nil {
+				sp.End()
 				return nil, err
 			}
 		}
-		sol, err := spice.New(b.C, spice.DefaultOptions()).OP()
+		sp.End()
+		sp = opt.span(obs.StageFaultSim, m.Name())
+		sol, err := spice.New(b.C, opt.simOptions()).OP(ctx)
+		sp.End()
 		if err != nil {
-			if f == nil {
+			if f == nil || spice.IsCancelled(err) {
 				return nil, err
 			}
 			resp.Voltage = signature.VSigMixed
@@ -119,6 +126,7 @@ func (m *ClockgenMacro) Respond(f *faults.Fault, opt RespondOpts) (*signature.Re
 	if opt.CurrentsOnly {
 		return resp, nil
 	}
+	csp := opt.span(obs.StageClassify, m.Name())
 	switch {
 	case stuck:
 		// A dead clock kills every comparator: massive missing codes.
@@ -129,6 +137,7 @@ func (m *ClockgenMacro) Respond(f *faults.Fault, opt RespondOpts) (*signature.Re
 	default:
 		resp.Voltage = signature.VSigNone
 	}
+	csp.End()
 	return resp, nil
 }
 

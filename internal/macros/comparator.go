@@ -1,6 +1,7 @@
 package macros
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/layout"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/signature"
 	"repro/internal/spice"
 )
@@ -43,29 +45,33 @@ func NewComparatorWithRef(vref float64) *ComparatorMacro {
 // signatures are classified on the offset *deviation* from this value —
 // the systematic part is shared by all 256 slices and therefore part of
 // the good signature.
-func (m *ComparatorMacro) nominalOffset(dft bool) float64 {
+func (m *ComparatorMacro) nominalOffset(ctx context.Context, dft bool) (float64, error) {
 	m.mu.Lock()
 	if off, ok := m.offNom[dft]; ok {
 		m.mu.Unlock()
-		return off
+		return off, nil
 	}
 	m.mu.Unlock()
 	// Bisect OUTSIDE the lock: the offset bisection runs a dozen full
 	// transients, and holding the mutex across it would serialise every
 	// parallel fault-class analysis behind the first caller. The
 	// computation is deterministic, so concurrent first callers compute
-	// the same value and the first store wins.
-	off, ok := m.bisectOffset(nil, RespondOpts{Var: Nominal(), DfT: dft}, 0)
+	// the same value and the first store wins. A cancelled bisection is
+	// NOT cached — the next caller recomputes.
+	off, ok, err := m.bisectOffset(ctx, nil, RespondOpts{Var: Nominal(), DfT: dft}, 0)
+	if err != nil {
+		return 0, err
+	}
 	if !ok {
 		off = 0
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if prev, ok := m.offNom[dft]; ok {
-		return prev
+		return prev, nil
 	}
 	m.offNom[dft] = off
-	return off
+	return off, nil
 }
 
 // Name implements Macro.
@@ -262,18 +268,26 @@ type tranRun struct {
 }
 
 // runOnce simulates one full three-phase conversion at the given input.
-func (m *ComparatorMacro) runOnce(vin float64, f *faults.Fault, opt RespondOpts, gos faults.GOSVariant) (*tranRun, error) {
+func (m *ComparatorMacro) runOnce(ctx context.Context, vin float64, f *faults.Fault, opt RespondOpts, gos faults.GOSVariant) (*tranRun, error) {
+	sp := opt.span(obs.StageInject, m.Name())
 	b := m.buildComparatorCircuit(vin, opt)
 	if f != nil {
 		if err := faults.Inject(b.C, *f, procShared, faults.InjectOptions{
 			NonCat: opt.NonCat, GOS: gos,
 		}); err != nil {
+			sp.End()
 			return nil, err
 		}
 	}
-	eng := spice.New(b.C, spice.DefaultOptions())
-	tr, err := eng.TransientSchedule(tranSchedule)
+	sp.End()
+	eng := spice.New(b.C, opt.simOptions())
+	sp = opt.span(obs.StageFaultSim, m.Name())
+	tr, err := eng.TransientSchedule(ctx, tranSchedule)
+	sp.End()
 	if err != nil {
+		if spice.IsCancelled(err) {
+			return nil, err
+		}
 		return &tranRun{failed: true}, nil
 	}
 	run := &tranRun{}
@@ -331,25 +345,25 @@ const (
 )
 
 // Respond implements Macro.
-func (m *ComparatorMacro) Respond(f *faults.Fault, opt RespondOpts) (*signature.Response, error) {
+func (m *ComparatorMacro) Respond(ctx context.Context, f *faults.Fault, opt RespondOpts) (*signature.Response, error) {
 	if f != nil && f.Kind == faults.GOSPinhole {
-		nom, err := m.Respond(nil, opt)
+		nom, err := m.Respond(ctx, nil, opt)
 		if err != nil {
 			return nil, err
 		}
 		return gosWorstCase(nom, func(v faults.GOSVariant) (*signature.Response, error) {
-			return m.respondVariant(f, opt, v)
+			return m.respondVariant(ctx, f, opt, v)
 		})
 	}
-	return m.respondVariant(f, opt, faults.GOSToSource)
+	return m.respondVariant(ctx, f, opt, faults.GOSToSource)
 }
 
-func (m *ComparatorMacro) respondVariant(f *faults.Fault, opt RespondOpts, gos faults.GOSVariant) (*signature.Response, error) {
-	lo, err := m.runOnce(vinLow, f, opt, gos)
+func (m *ComparatorMacro) respondVariant(ctx context.Context, f *faults.Fault, opt RespondOpts, gos faults.GOSVariant) (*signature.Response, error) {
+	lo, err := m.runOnce(ctx, vinLow, f, opt, gos)
 	if err != nil {
 		return nil, err
 	}
-	hi, err := m.runOnce(vinHigh, f, opt, gos)
+	hi, err := m.runOnce(ctx, vinHigh, f, opt, gos)
 	if err != nil {
 		return nil, err
 	}
@@ -377,6 +391,7 @@ func (m *ComparatorMacro) respondVariant(f *faults.Fault, opt RespondOpts, gos f
 		return resp, nil
 	}
 
+	csp := opt.span(obs.StageClassify, m.Name())
 	switch {
 	case lo.decision == -1 || hi.decision == -1:
 		resp.Voltage = signature.VSigMixed
@@ -389,12 +404,21 @@ func (m *ComparatorMacro) respondVariant(f *faults.Fault, opt RespondOpts, gos f
 	default:
 		// Proper polarity: locate the trip point by bisection and
 		// compare to the design's systematic offset.
-		off, ok := m.bisectOffset(f, opt, gos)
+		off, ok, err := m.bisectOffset(ctx, f, opt, gos)
+		if err != nil {
+			csp.End()
+			return nil, err
+		}
 		switch {
 		case !ok:
 			resp.Voltage = signature.VSigMixed
 		default:
-			resp.OffsetV = off - m.nominalOffset(opt.DfT)
+			nomOff, err := m.nominalOffset(ctx, opt.DfT)
+			if err != nil {
+				csp.End()
+				return nil, err
+			}
+			resp.OffsetV = off - nomOff
 			switch {
 			case math.Abs(resp.OffsetV) > OffsetLimit:
 				resp.Voltage = signature.VSigOffset
@@ -405,6 +429,7 @@ func (m *ComparatorMacro) respondVariant(f *faults.Fault, opt RespondOpts, gos f
 			}
 		}
 	}
+	csp.End()
 	if resp.Voltage == signature.VSigStuck && clockDeviant {
 		// Keep the stronger stuck classification; clock deviation is
 		// still reflected in the IDDQ measurements.
@@ -442,19 +467,22 @@ func propagateSlice(resp *signature.Response) bool {
 
 // bisectOffset locates the comparator trip point (input-referred offset
 // relative to VRef). Assumes decision(vinLow)=0 and decision(vinHigh)=1.
-func (m *ComparatorMacro) bisectOffset(f *faults.Fault, opt RespondOpts, gos faults.GOSVariant) (float64, bool) {
+// The error is non-nil only when the bisection was aborted (cancellation
+// or an injection failure), so a half-finished bisection is never
+// classified as a signature.
+func (m *ComparatorMacro) bisectOffset(ctx context.Context, f *faults.Fault, opt RespondOpts, gos faults.GOSVariant) (float64, bool, error) {
 	lo, hi := vinLow, vinHigh
 	for i := 0; i < 11; i++ {
 		mid := (lo + hi) / 2
-		run, err := m.runOnce(mid, f, opt, gos)
+		run, err := m.runOnce(ctx, mid, f, opt, gos)
 		if err != nil {
-			return 0, false
+			return 0, false, err
 		}
 		if run.failed {
 			// The extremes simulated fine, so a Newton breakdown at
 			// mid means the latch is balanced on the metastable
 			// saddle: mid is the trip point.
-			return mid - m.VRef, true
+			return mid - m.VRef, true, nil
 		}
 		switch run.decision {
 		case 1:
@@ -464,8 +492,8 @@ func (m *ComparatorMacro) bisectOffset(f *faults.Fault, opt RespondOpts, gos fau
 		default:
 			// A mid-level output means the latch went metastable:
 			// we are within a hair of the trip point.
-			return mid - m.VRef, true
+			return mid - m.VRef, true, nil
 		}
 	}
-	return (lo+hi)/2 - m.VRef, true
+	return (lo+hi)/2 - m.VRef, true, nil
 }

@@ -1,6 +1,7 @@
 package macros
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 func TestComparatorFaultFreeDecisions(t *testing.T) {
 	m := NewComparator()
 	opt := RespondOpts{Var: Nominal()}
-	lo, err := m.runOnce(vinLow, nil, opt, 0)
+	lo, err := m.runOnce(context.Background(), vinLow, nil, opt, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +23,7 @@ func TestComparatorFaultFreeDecisions(t *testing.T) {
 	if lo.decision != 0 {
 		t.Fatalf("decision(vin<vref) = %d (out=%.3g), want 0", lo.decision, lo.outV)
 	}
-	hi, err := m.runOnce(vinHigh, nil, opt, 0)
+	hi, err := m.runOnce(context.Background(), vinHigh, nil, opt, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,15 +52,19 @@ func TestComparatorSmallInputResolved(t *testing.T) {
 	// 4 mV above the design trip point must resolve to 1; 4 mV below
 	// to 0 (the trip point includes the systematic charge-injection
 	// offset, as in silicon).
-	trip := m.VRef + m.nominalOffset(false)
-	up, err := m.runOnce(trip+4e-3, nil, opt, 0)
+	nomOff, err := m.nominalOffset(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip := m.VRef + nomOff
+	up, err := m.runOnce(context.Background(), trip+4e-3, nil, opt, 0)
 	if err != nil || up.failed {
 		t.Fatalf("up: %v failed=%v", err, up != nil && up.failed)
 	}
 	if up.decision != 1 {
 		t.Fatalf("decision(vref+4mV) = %d (out=%.3g)", up.decision, up.outV)
 	}
-	dn, err := m.runOnce(trip-4e-3, nil, opt, 0)
+	dn, err := m.runOnce(context.Background(), trip-4e-3, nil, opt, 0)
 	if err != nil || dn.failed {
 		t.Fatal("down failed")
 	}
@@ -70,7 +75,7 @@ func TestComparatorSmallInputResolved(t *testing.T) {
 
 func TestComparatorFaultFreeResponse(t *testing.T) {
 	m := NewComparator()
-	resp, err := m.Respond(nil, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +92,11 @@ func TestComparatorFaultFreeResponse(t *testing.T) {
 
 func TestComparatorDfTRemovesLeak(t *testing.T) {
 	m := NewComparator()
-	pre, err := m.Respond(nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
+	pre, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	post, err := m.Respond(nil, RespondOpts{Var: Nominal(), DfT: true, CurrentsOnly: true})
+	post, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal(), DfT: true, CurrentsOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +111,7 @@ func TestComparatorStuckFault(t *testing.T) {
 	// A low-ohmic short from o1 to vss keeps o1 low: q reads 0, out
 	// stuck high.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"o1", "vss"}, Res: 0.2}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +125,11 @@ func TestComparatorSupplyShortDrawsCurrent(t *testing.T) {
 	// A metal short across the slice supply rails: the canonical
 	// massive-IVdd defect.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"vdda", "vss"}, Res: 0.2}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal(), CurrentsOnly: true})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal(), CurrentsOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nom, err := m.Respond(nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
+	nom, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,11 +143,11 @@ func TestComparatorClockShortRaisesIDDQ(t *testing.T) {
 	m := NewComparator()
 	// clk1-clk2 short: the two clock buffers fight in every phase.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"clk1", "clk2"}, Res: 0.2}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal(), CurrentsOnly: true})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal(), CurrentsOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nom, err := m.Respond(nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
+	nom, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,14 +167,14 @@ func TestComparatorBiasBiasShortSmallEffect(t *testing.T) {
 	// The paper's hard case: a short between the two similar bias lines
 	// barely changes anything.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"vbn1", "vbn2"}, Res: 0.2}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Voltage == signature.VSigStuck || resp.Voltage == signature.VSigMixed {
 		t.Fatalf("bias-bias short must not break the comparator: %v", resp.Voltage)
 	}
-	nom, err := m.Respond(nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
+	nom, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}

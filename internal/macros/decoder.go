@@ -1,6 +1,7 @@
 package macros
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/process"
 	"repro/internal/signature"
 )
@@ -209,8 +211,12 @@ func (m *DecoderMacro) gateNets(dev string) (in, out string, ok bool) {
 // Respond implements Macro: the missing-code test is run directly through
 // the gate network (256 thermometer patterns), and IDDQ is flagged when
 // any pattern drives a bridge to a conflict.
-func (m *DecoderMacro) Respond(f *faults.Fault, opt RespondOpts) (*signature.Response, error) {
+func (m *DecoderMacro) Respond(ctx context.Context, f *faults.Fault, opt RespondOpts) (*signature.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	resp := &signature.Response{Currents: map[string]float64{}}
+	sp := opt.span(obs.StageInject, m.Name())
 	var df digital.Fault
 	if f != nil {
 		var ok bool
@@ -219,12 +225,19 @@ func (m *DecoderMacro) Respond(f *faults.Fault, opt RespondOpts) (*signature.Res
 			df = digital.Fault{}
 		}
 	}
+	sp.End()
+	sp = opt.span(obs.StageFaultSim, m.Name())
 	seen := make([]bool, NumComparators)
 	iddq := false
 	erratic := false
 	for k := 0; k < NumComparators; k++ {
+		if err := ctx.Err(); err != nil {
+			sp.End()
+			return nil, err
+		}
 		code, hit, err := m.decode(k, df)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		iddq = iddq || hit
@@ -234,6 +247,7 @@ func (m *DecoderMacro) Respond(f *faults.Fault, opt RespondOpts) (*signature.Res
 			erratic = true
 		}
 	}
+	sp.End()
 	// IDDQ is reported as the crowbar-current estimate of one fighting
 	// gate pair (the digital supply is otherwise quiescent).
 	const crowbar = 1e-3
@@ -245,6 +259,7 @@ func (m *DecoderMacro) Respond(f *faults.Fault, opt RespondOpts) (*signature.Res
 	if opt.CurrentsOnly {
 		return resp, nil
 	}
+	csp := opt.span(obs.StageClassify, m.Name())
 	missing := false
 	for _, s := range seen {
 		if !s {
@@ -261,6 +276,7 @@ func (m *DecoderMacro) Respond(f *faults.Fault, opt RespondOpts) (*signature.Res
 	default:
 		resp.Voltage = signature.VSigNone
 	}
+	csp.End()
 	return resp, nil
 }
 

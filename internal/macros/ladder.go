@@ -1,6 +1,7 @@
 package macros
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/layout"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/process"
 	"repro/internal/signature"
 	"repro/internal/spice"
@@ -57,14 +59,19 @@ func (l *LadderMacro) buildLadderCircuit(v Variation) *netlist.Builder {
 }
 
 // solveTaps returns the tap voltages and terminal currents.
-func (l *LadderMacro) solveTaps(f *faults.Fault, opt RespondOpts) (taps []float64, ihi, ilo float64, err error) {
+func (l *LadderMacro) solveTaps(ctx context.Context, f *faults.Fault, opt RespondOpts) (taps []float64, ihi, ilo float64, err error) {
+	sp := opt.span(obs.StageInject, l.Name())
 	b := l.buildLadderCircuit(opt.Var)
 	if f != nil {
 		if err := faults.Inject(b.C, *f, procShared, faults.InjectOptions{NonCat: opt.NonCat}); err != nil {
+			sp.End()
 			return nil, 0, 0, err
 		}
 	}
-	sol, err := spice.New(b.C, spice.DefaultOptions()).OP()
+	sp.End()
+	sp = opt.span(obs.StageFaultSim, l.Name())
+	sol, err := spice.New(b.C, opt.simOptions()).OP(ctx)
+	sp.End()
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -80,11 +87,11 @@ func (l *LadderMacro) solveTaps(f *faults.Fault, opt RespondOpts) (taps []float6
 // (ideal comparators, faulty references) and running the missing-code
 // test; the current signature is the deviation of the reference-terminal
 // currents.
-func (l *LadderMacro) Respond(f *faults.Fault, opt RespondOpts) (*signature.Response, error) {
+func (l *LadderMacro) Respond(ctx context.Context, f *faults.Fault, opt RespondOpts) (*signature.Response, error) {
 	resp := &signature.Response{Currents: map[string]float64{}}
-	taps, ihi, ilo, err := l.solveTaps(f, opt)
+	taps, ihi, ilo, err := l.solveTaps(ctx, f, opt)
 	if err != nil {
-		if f == nil {
+		if f == nil || spice.IsCancelled(err) {
 			return nil, err
 		}
 		resp.Voltage = signature.VSigMixed
@@ -101,10 +108,12 @@ func (l *LadderMacro) Respond(f *faults.Fault, opt RespondOpts) (*signature.Resp
 
 	// Nominal taps under the same variation (ratiometric: uniform rho
 	// scaling leaves them unchanged, so deviations isolate the fault).
-	nomTaps, _, _, err := l.solveTaps(nil, opt)
+	nomTaps, _, _, err := l.solveTaps(ctx, nil, opt)
 	if err != nil {
 		return nil, err
 	}
+	csp := opt.span(obs.StageClassify, l.Name())
+	defer csp.End()
 	worst := 0.0
 	a := adc.New(NumComparators, VRefLo, VRefHi)
 	for k := 0; k < NumComparators; k++ {

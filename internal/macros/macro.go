@@ -8,12 +8,15 @@
 package macros
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/faults"
 	"repro/internal/layout"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/signature"
+	"repro/internal/spice"
 )
 
 // Electrical constants of the case-study converter.
@@ -114,6 +117,37 @@ type RespondOpts struct {
 	// bisection); used by the good-space Monte Carlo, which only needs
 	// the current measurements.
 	CurrentsOnly bool
+	// Obs, when non-nil, receives the inject/faultsim/classify spans of
+	// every simulation this response runs; Class labels them with the
+	// fault class under analysis ("" for fault-free references). Macro,
+	// when set, overrides the emitting macro's own name in the span
+	// labels — the pipeline sets it to the analysed macro so a
+	// delegated simulation (biasgen analyses run on the comparator
+	// circuit) stays attributed to the class's macro.
+	Obs   *obs.Observer
+	Class string
+	Macro string
+	// Metrics, when non-nil, accumulates the solver hot-path counters
+	// (Newton iterations, LU solves, convergence retries) across the
+	// response's simulations.
+	Metrics *obs.Metrics
+}
+
+// span opens an observability span labelled with this response's class
+// and DfT setting (inert when no observer is attached).
+func (o *RespondOpts) span(stage, macro string) obs.Span {
+	if o.Macro != "" {
+		macro = o.Macro
+	}
+	return o.Obs.Start(stage, macro, o.Class, o.DfT, o.Metrics)
+}
+
+// simOptions returns the solver options for this response's simulations
+// (default settings with the counter block attached).
+func (o *RespondOpts) simOptions() spice.Options {
+	opt := spice.DefaultOptions()
+	opt.Metrics = o.Metrics
+	return opt
 }
 
 // Macro is one analysable block of the converter.
@@ -128,8 +162,10 @@ type Macro interface {
 	// Respond fault-simulates the macro (f nil ⇒ fault-free) and
 	// returns the classified macro-level signature with all current
 	// measurements. Responses must contain the same measurement keys
-	// for fault-free and faulty runs.
-	Respond(f *faults.Fault, opt RespondOpts) (*signature.Response, error)
+	// for fault-free and faulty runs. Cancelling ctx aborts the
+	// underlying solves; the error then satisfies spice.IsCancelled and
+	// is never folded into a fault signature.
+	Respond(ctx context.Context, f *faults.Fault, opt RespondOpts) (*signature.Response, error)
 }
 
 // gosWorstCase runs fn for every gate-oxide pinhole variant and returns
@@ -143,6 +179,11 @@ func gosWorstCase(nom *signature.Response, run func(v faults.GOSVariant) (*signa
 	for v := faults.GOSVariant(0); v < faults.NumGOSVariants; v++ {
 		r, err := run(v)
 		if err != nil {
+			// A cancelled variant is an abort, not an unsimulatable
+			// defect variant.
+			if spice.IsCancelled(err) {
+				return nil, err
+			}
 			continue
 		}
 		score := responseScore(nom, r)

@@ -1,6 +1,7 @@
 package macros
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestDecoderOpenMapsToStuck(t *testing.T) {
 	if !ok || df.Net != "h100" {
 		t.Fatalf("mapFault open = %+v ok=%v", df, ok)
 	}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestDecoderOpenMapsToStuck(t *testing.T) {
 func TestDecoderJunctionPinholeIDDQOnly(t *testing.T) {
 	m := NewDecoder()
 	f := &faults.Fault{Kind: faults.JunctionPinholeKind, Nets: []string{"h005", "vss"}}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestDecoderJunctionPinholeIDDQOnly(t *testing.T) {
 func TestComparatorGOSWorstCase(t *testing.T) {
 	m := NewComparator()
 	f := &faults.Fault{Kind: faults.GOSPinhole, Device: "m1"}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestComparatorGOSWorstCase(t *testing.T) {
 	if resp.Voltage == signature.VSigNone && math.Abs(resp.OffsetV) < 1e-4 {
 		// Accept: chosen variant is genuinely hard to detect — but
 		// then at least a current deviation should exist vs nominal.
-		nom, err := m.Respond(nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
+		nom, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func TestClockgenClockValueSignature(t *testing.T) {
 	// A high-ohmic load on clk2 degrades its level without killing it:
 	// 2 kΩ to ground vs the big driver ⇒ a sagged high level.
 	f := &faults.Fault{Kind: faults.ThickOxPinhole, Nets: []string{"clk2", "vss"}}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestClockgenClockValueSignature(t *testing.T) {
 func TestComparatorVinVrefShortIinput(t *testing.T) {
 	m := NewComparator()
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"vin", "vref"}, Res: 0.2}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal(), CurrentsOnly: true})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal(), CurrentsOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}

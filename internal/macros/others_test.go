@@ -1,6 +1,7 @@
 package macros
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 
 func TestLadderFaultFree(t *testing.T) {
 	l := NewLadder()
-	resp, err := l.Respond(nil, RespondOpts{Var: Nominal()})
+	resp, err := l.Respond(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestLadderRhoScaleRatiometric(t *testing.T) {
 	l := NewLadder()
 	v := Nominal()
 	v.RhoScale = 1.05
-	resp, err := l.Respond(nil, RespondOpts{Var: v})
+	resp, err := l.Respond(context.Background(), nil, RespondOpts{Var: v})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestLadderRhoScaleRatiometric(t *testing.T) {
 func TestLadderAdjacentTapShortVoltageOnly(t *testing.T) {
 	l := NewLadder()
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{tapName(100), tapName(101)}, Res: 0.2}
-	resp, err := l.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := l.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestLadderCrossRowShortBigCurrent(t *testing.T) {
 	// Taps 32 apart (vertically adjacent serpentine rows) bypass 32
 	// segments: a 12.5 % resistance drop.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{tapName(96), tapName(128)}, Res: 0.2}
-	resp, err := l.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := l.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestLadderOpenKillsCurrent(t *testing.T) {
 		Kind: faults.Open, Nets: []string{tapName(50)},
 		FarTerminals: []faults.Terminal{{Device: "r050", Net: tapName(50)}},
 	}
-	resp, err := l.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := l.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestLadderLayoutConnectivity(t *testing.T) {
 
 func TestClockgenFaultFree(t *testing.T) {
 	m := NewClockgen()
-	resp, err := m.Respond(nil, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestClockgenFaultFree(t *testing.T) {
 func TestClockgenOutputRailShortStuck(t *testing.T) {
 	m := NewClockgen()
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"clk1", "vss"}, Res: 0.2}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestClockgenInternalBridgeIDDQ(t *testing.T) {
 	// Bridge two internal chain nodes of different phases: they carry
 	// opposite values in the one-hot states.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"cg1_0", "cg2_0"}, Res: 0.2}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestClockgenLayoutConnectivity(t *testing.T) {
 
 func TestBiasgenFaultFree(t *testing.T) {
 	m := NewBiasgen()
-	resp, err := m.Respond(nil, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestBiasgenFaultFree(t *testing.T) {
 func TestBiasgenBiasShortCommonModeUndetectable(t *testing.T) {
 	m := NewBiasgen()
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"vbn1", "vbn2"}, Res: 0.2}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,11 +207,11 @@ func TestBiasgenNPBiasShortDetectable(t *testing.T) {
 	m := NewBiasgen()
 	// The post-DfT adjacency: vbn1-vbp1 short ties 1.1 V to 3.9 V.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"vbn1", "vbp1"}, Res: 0.2}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal(), CurrentsOnly: true})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal(), CurrentsOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nom, err := m.Respond(nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
+	nom, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestDecoderFaultFreeIdentity(t *testing.T) {
 
 func TestDecoderRespondFaultFree(t *testing.T) {
 	m := NewDecoder()
-	resp, err := m.Respond(nil, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestDecoderRespondFaultFree(t *testing.T) {
 func TestDecoderStuckInputMissingCode(t *testing.T) {
 	m := NewDecoder()
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{tnet(100), "vddd"}, Res: 0.2}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestDecoderStuckInputMissingCode(t *testing.T) {
 func TestDecoderBridgeIDDQ(t *testing.T) {
 	m := NewDecoder()
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"h100", "h101"}, Res: 0.2}
-	resp, err := m.Respond(f, RespondOpts{Var: Nominal()})
+	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
 	}

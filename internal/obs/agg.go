@@ -1,0 +1,69 @@
+package obs
+
+import "sync"
+
+// StageStats is the aggregate of one stage's spans: how many ran, how
+// much wall time they consumed (summed across workers — spans may nest
+// and overlap, see the package comment), and their counter totals.
+type StageStats struct {
+	Spans    int              `json:"spans"`
+	WallMS   float64          `json:"wall_ms"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Agg is a Sink folding spans into per-stage aggregates; the campaign
+// layer snapshots it into campaign.Stats so run metrics carry the
+// per-stage time breakdown.
+type Agg struct {
+	mu     sync.Mutex
+	stages map[string]*StageStats
+}
+
+// NewAgg returns an empty aggregator.
+func NewAgg() *Agg {
+	return &Agg{stages: map[string]*StageStats{}}
+}
+
+// Emit implements Sink.
+func (a *Agg) Emit(r *Record) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.stages[r.Stage]
+	if st == nil {
+		st = &StageStats{}
+		a.stages[r.Stage] = st
+	}
+	st.Spans++
+	st.WallMS += float64(r.Dur) / 1e6
+	for i, n := range r.Counters {
+		if n == 0 {
+			continue
+		}
+		if st.Counters == nil {
+			st.Counters = map[string]int64{}
+		}
+		st.Counters[Counter(i).Name()] += n
+	}
+}
+
+// Snapshot returns a deep copy of the per-stage aggregates (nil when no
+// span was ever emitted).
+func (a *Agg) Snapshot() map[string]*StageStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.stages) == 0 {
+		return nil
+	}
+	out := make(map[string]*StageStats, len(a.stages))
+	for k, v := range a.stages {
+		c := *v
+		if v.Counters != nil {
+			c.Counters = make(map[string]int64, len(v.Counters))
+			for ck, cv := range v.Counters {
+				c.Counters[ck] = cv
+			}
+		}
+		out[k] = &c
+	}
+	return out
+}

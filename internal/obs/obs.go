@@ -1,0 +1,204 @@
+// Package obs is the observability layer of the methodology pipeline:
+// per-stage spans (stage name, macro, fault class, wall time) and
+// hot-path counters (Newton iterations, LU solves, convergence-aid
+// retries, sprinkle draws) emitted through pluggable sinks.
+//
+// The design is built around one constraint: the default must be free.
+// A nil *Observer is the noop sink — Start returns an inert Span, End
+// does nothing, no clock is read and nothing allocates — so the analog
+// kernel keeps its zero-allocation steady state unless a trace or
+// aggregation sink is attached. Counters are equally cheap: a nil
+// *Metrics receiver turns Add into a predicted-not-taken branch, so the
+// Newton loop can count unconditionally.
+//
+// The pipeline stages mirror Fig. 1 of the paper: sprinkle → collapse →
+// inject → faultsim → classify → detect (plus the good-space compile).
+// Spans are flat, independent intervals, not a strict tree: the
+// comparator's classify span contains the offset-bisection transients,
+// whose inject/faultsim spans are emitted too. Aggregated per-stage
+// times therefore attribute where the wall clock went, they do not
+// partition it.
+package obs
+
+import "time"
+
+// Stage names of the methodology pipeline, as emitted in spans.
+const (
+	// StageSprinkle is the Monte Carlo defect sprinkle of one macro
+	// (one span per pass: "discovery" / "magnitude" in the class label).
+	StageSprinkle = "sprinkle"
+	// StageCollapse is fault collapsing into classes plus the
+	// magnitude-pass re-weighting.
+	StageCollapse = "collapse"
+	// StageInject is circuit construction + fault-model injection for
+	// one fault simulation.
+	StageInject = "inject"
+	// StageFaultSim is the analog (or gate-level) fault simulation.
+	StageFaultSim = "faultsim"
+	// StageClassify is the macro-level fault-signature classification
+	// (for the comparator it includes the trip-point bisection).
+	StageClassify = "classify"
+	// StageDetect is chip-level propagation plus detection against the
+	// good-signature space.
+	StageDetect = "detect"
+	// StageGoodSpace is the good-signature-space Monte Carlo compile.
+	StageGoodSpace = "goodspace"
+)
+
+// Counter indexes one hot-path counter inside a Metrics block.
+type Counter int
+
+// The hot-path counters.
+const (
+	// CtrNewtonIters counts Newton–Raphson iterations.
+	CtrNewtonIters Counter = iota
+	// CtrLUSolves counts LU factor+solve passes.
+	CtrLUSolves
+	// CtrGminRetries counts gmin-stepping homotopy rungs and
+	// elevated-gmin transient retries.
+	CtrGminRetries
+	// CtrSourceRetries counts source-stepping rungs (including the
+	// per-rung elevated-gmin re-attempts).
+	CtrSourceRetries
+	// CtrSprinkleDraws counts sprinkled defects.
+	CtrSprinkleDraws
+
+	// NumCounters is the size of a Metrics block.
+	NumCounters
+)
+
+// counterNames are the JSON keys of the counters, indexed by Counter.
+var counterNames = [NumCounters]string{
+	"newton_iters",
+	"lu_solves",
+	"gmin_retries",
+	"source_retries",
+	"sprinkle_draws",
+}
+
+// Name returns the canonical (JSON) name of the counter.
+func (c Counter) Name() string { return counterNames[c] }
+
+// Metrics is a block of hot-path counters owned by a single goroutine
+// (one fault-class analysis, one sprinkle pass). It is deliberately not
+// synchronised: the campaign layers allocate one block per unit of work.
+// A nil *Metrics discards every Add, so kernel code counts
+// unconditionally.
+type Metrics struct {
+	n [NumCounters]int64
+}
+
+// Add accumulates n into counter c. Safe (and free) on a nil receiver.
+func (m *Metrics) Add(c Counter, n int64) {
+	if m != nil {
+		m.n[c] += n
+	}
+}
+
+// Get reads counter c (0 on a nil receiver).
+func (m *Metrics) Get(c Counter) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.n[c]
+}
+
+// Record is one finished span as delivered to sinks. Sinks must not
+// retain the Record past the Emit call.
+type Record struct {
+	// Stage is one of the Stage* constants.
+	Stage string
+	// Macro and Class label the work ("" when not applicable).
+	Macro, Class string
+	// DfT is the design-for-test setting of the run the span belongs to.
+	DfT bool
+	// Start is the span's wall-clock start; Dur its duration.
+	Start time.Time
+	Dur   time.Duration
+	// Counters holds the counter deltas accumulated during the span
+	// (all zero when the span had no Metrics attached).
+	Counters [NumCounters]int64
+}
+
+// Sink consumes finished spans. Emit is called concurrently from
+// campaign workers; implementations synchronise internally.
+type Sink interface {
+	Emit(r *Record)
+}
+
+// Observer fans finished spans out to its sinks. A nil *Observer is the
+// zero-cost noop: Start neither reads the clock nor allocates, and the
+// returned Span's End is inert.
+type Observer struct {
+	sinks []Sink
+}
+
+// New builds an observer over the given sinks (nil when no sinks are
+// given, so callers can pass the result around unconditionally).
+func New(sinks ...Sink) *Observer {
+	if len(sinks) == 0 {
+		return nil
+	}
+	return &Observer{sinks: sinks}
+}
+
+// Start opens a span. met may be nil (no counter deltas). The returned
+// Span is a value; call End exactly once.
+func (o *Observer) Start(stage, macro, class string, dft bool, met *Metrics) Span {
+	if o == nil {
+		return Span{}
+	}
+	sp := Span{o: o, stage: stage, macro: macro, class: class, dft: dft, met: met, start: time.Now()}
+	if met != nil {
+		sp.snap = met.n
+	}
+	return sp
+}
+
+// Stages returns the per-stage aggregate of the first snapshotting sink
+// (an *Agg, typically), or nil when none is attached.
+func (o *Observer) Stages() map[string]*StageStats {
+	if o == nil {
+		return nil
+	}
+	for _, s := range o.sinks {
+		if a, ok := s.(interface{ Snapshot() map[string]*StageStats }); ok {
+			return a.Snapshot()
+		}
+	}
+	return nil
+}
+
+// Span is one open stage interval. The zero Span (from a nil observer)
+// is inert.
+type Span struct {
+	o                   *Observer
+	stage, macro, class string
+	dft                 bool
+	met                 *Metrics
+	snap                [NumCounters]int64
+	start               time.Time
+}
+
+// End closes the span and delivers it to every sink.
+func (sp Span) End() {
+	if sp.o == nil {
+		return
+	}
+	r := Record{
+		Stage: sp.stage,
+		Macro: sp.macro,
+		Class: sp.class,
+		DfT:   sp.dft,
+		Start: sp.start,
+		Dur:   time.Since(sp.start),
+	}
+	if sp.met != nil {
+		for i := range r.Counters {
+			r.Counters[i] = sp.met.n[i] - sp.snap[i]
+		}
+	}
+	for _, s := range sp.o.sinks {
+		s.Emit(&r)
+	}
+}

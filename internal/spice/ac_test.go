@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"testing"
@@ -15,7 +16,7 @@ func TestACRCLowpass(t *testing.T) {
 	b.R("r1", "in", "out", 1000)
 	b.Cap("c1", "out", "0", 1e-6)
 	e := New(b.C, DefaultOptions())
-	op, err := e.OP()
+	op, err := e.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestACCommonSourceGain(t *testing.T) {
 	b.R("rl", "vdd", "out", 50e3)
 	mos := b.NMOS("m1", "out", "in", "0", 10, 1)
 	e := New(b.C, DefaultOptions())
-	op, err := e.OP()
+	op, err := e.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestACSourceQuiescing(t *testing.T) {
 	b.R("r2", "b", "x", 1000)
 	b.R("r3", "x", "0", 1000)
 	e := New(b.C, DefaultOptions())
-	op, err := e.OP()
+	op, err := e.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestACUnknownSource(t *testing.T) {
 	b.Vsrc("v1", "a", "0", netlist.DC(1))
 	b.R("r1", "a", "0", 1)
 	e := New(b.C, DefaultOptions())
-	op, _ := e.OP()
+	op, _ := e.OP(context.Background())
 	if _, err := e.AC(op, "nope", []float64{1}); err == nil {
 		t.Fatal("unknown AC source must error")
 	}
@@ -139,7 +140,7 @@ func TestACCurrentSourceExcitation(t *testing.T) {
 	b.Isrc("i1", "0", "x", netlist.DC(0))
 	b.R("r1", "x", "0", 123)
 	e := New(b.C, DefaultOptions())
-	op, err := e.OP()
+	op, err := e.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

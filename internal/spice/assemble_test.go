@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/netlist"
@@ -111,11 +112,11 @@ func TestAssembleMatchesNaive(t *testing.T) {
 // returned Solution snapshot.
 func TestAssembleSteadyStateAllocs(t *testing.T) {
 	e := New(assembleTestCircuit().C, DefaultOptions())
-	if _, err := e.OPAt(0); err != nil {
+	if _, err := e.OPAt(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(20, func() {
-		if _, err := e.OPAt(0); err != nil {
+		if _, err := e.OPAt(context.Background(), 0); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -42,7 +43,7 @@ func opTrace(t *testing.T, stages, maxIter int) ([]string, *Solution, error) {
 	opt := DefaultOptions()
 	opt.MaxIter = maxIter
 	opt.OPTrace = func(stage string) { trace = append(trace, stage) }
-	sol, err := New(ladderChain(stages).C, opt).OP()
+	sol, err := New(ladderChain(stages).C, opt).OP(context.Background())
 	return trace, sol, err
 }
 

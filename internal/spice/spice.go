@@ -8,16 +8,25 @@
 package spice
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
 // ErrNoConvergence is returned when every convergence aid is exhausted.
 var ErrNoConvergence = errors.New("spice: no convergence")
+
+// IsCancelled reports whether err is (or wraps) a context cancellation
+// or deadline — the one analysis error that must NOT be classified as a
+// fault signature by the layers above.
+func IsCancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Options tune the solver.
 type Options struct {
@@ -37,6 +46,10 @@ type Options struct {
 	// re-attempted with elevated gmin. Intended for tests and diagnosis
 	// of hard-to-converge circuits.
 	OPTrace func(stage string)
+	// Metrics, if non-nil, receives the hot-path counters (Newton
+	// iterations, LU solves, gmin/source retries). The engine's owner
+	// reads it between solves; nil discards every count for free.
+	Metrics *obs.Metrics
 }
 
 // DefaultOptions returns robust settings for 5 V macro-cell circuits.
@@ -65,6 +78,16 @@ type bOp struct {
 type Engine struct {
 	Ckt *netlist.Circuit
 	Opt Options
+
+	// met receives the hot-path counters (aliases Opt.Metrics; nil
+	// discards). ctx/done are rebound by every top-level analysis entry
+	// (OPAt, TransientSchedule): done is polled between Newton
+	// iterations and transient steps so a cancellation aborts a wedged
+	// solve in bounded time — at most one LU factorisation after the
+	// context fires.
+	met  *obs.Metrics
+	ctx  context.Context
+	done <-chan struct{}
 
 	nUnknowns int
 	nNodeVars int
@@ -121,7 +144,7 @@ type Engine struct {
 
 // New prepares an engine for the circuit.
 func New(ckt *netlist.Circuit, opt Options) *Engine {
-	e := &Engine{Ckt: ckt, Opt: opt, auxOf: map[string]int{}}
+	e := &Engine{Ckt: ckt, Opt: opt, met: opt.Metrics, auxOf: map[string]int{}}
 	e.nNodeVars = ckt.NumNodes() - 1
 	next := e.nNodeVars
 	e.auxBase = make([]int, len(ckt.Elems))
@@ -190,6 +213,31 @@ func New(ckt *netlist.Circuit, opt Options) *Engine {
 		N: n,
 	}
 	return e
+}
+
+// bind installs the context governing one top-level analysis. A nil ctx
+// (legacy callers, tests) binds the never-cancelled background context.
+func (e *Engine) bind(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
+	e.done = ctx.Done()
+}
+
+// cancelled polls the bound context without blocking. It is the per-
+// iteration abort check of the Newton loop and the transient stepper: a
+// single select on the cached done channel, no allocation.
+func (e *Engine) cancelled() error {
+	if e.done == nil {
+		return nil
+	}
+	select {
+	case <-e.done:
+		return e.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // prog returns (compiling on first use) the stamp program for a mode.
@@ -343,11 +391,16 @@ func (e *Engine) newton(dst, x0, xPrev []float64, mode netlist.StampMode,
 	copy(x, x0)
 	e.beginSolve(mode, time, dt, gmin, srcScale, xPrev)
 	for iter := 0; iter < e.Opt.MaxIter; iter++ {
+		if err := e.cancelled(); err != nil {
+			return err
+		}
+		e.met.Add(obs.CtrNewtonIters, 1)
 		e.assemble(x)
 		if err := e.lu.Refactor(e.a); err != nil {
 			return fmt.Errorf("iter %d: %w", iter, err)
 		}
 		xNew := e.lu.SolveInto(e.xNew, e.b)
+		e.met.Add(obs.CtrLUSolves, 1)
 		// Damp node-voltage updates; leave branch currents free.
 		conv := true
 		for i := 0; i < n; i++ {
@@ -378,9 +431,11 @@ func (e *Engine) newton(dst, x0, xPrev []float64, mode netlist.StampMode,
 	return ErrNoConvergence
 }
 
-// OP computes the DC operating point at t = 0.
-func (e *Engine) OP() (*Solution, error) {
-	return e.OPAt(0)
+// OP computes the DC operating point at t = 0. Cancelling ctx aborts
+// the solve between Newton iterations; the returned error then satisfies
+// IsCancelled.
+func (e *Engine) OP(ctx context.Context) (*Solution, error) {
+	return e.OPAt(ctx, 0)
 }
 
 // trace reports an operating-point ladder stage to Options.OPTrace.
@@ -396,8 +451,16 @@ func (e *Engine) solution(x []float64) *Solution {
 }
 
 // OPAt computes the DC operating point with time-dependent sources
-// evaluated at the given time (capacitors open).
-func (e *Engine) OPAt(time float64) (*Solution, error) {
+// evaluated at the given time (capacitors open). Cancelling ctx aborts
+// the fallback ladder between Newton iterations — a cancellation error
+// is returned as-is, never converted into the next convergence aid.
+func (e *Engine) OPAt(ctx context.Context, time float64) (*Solution, error) {
+	e.bind(ctx)
+	return e.opAt(time)
+}
+
+// opAt is the ladder body, running under the already-bound context.
+func (e *Engine) opAt(time float64) (*Solution, error) {
 	zero := e.zeros
 	x := e.opX
 
@@ -405,6 +468,8 @@ func (e *Engine) OPAt(time float64) (*Solution, error) {
 	if err := e.newton(x, zero, zero, netlist.DCOp, time, 0, e.Opt.Gmin, 1); err == nil {
 		e.trace("newton-ok")
 		return e.solution(x), nil
+	} else if IsCancelled(err) {
+		return nil, err
 	}
 
 	// 2. Gmin stepping.
@@ -412,7 +477,11 @@ func (e *Engine) OPAt(time float64) (*Solution, error) {
 	copy(x, zero)
 	ok := true
 	for g := 1e-2; g >= e.Opt.Gmin; g /= 10 {
+		e.met.Add(obs.CtrGminRetries, 1)
 		if err := e.newton(x, x, zero, netlist.DCOp, time, 0, g, 1); err != nil {
+			if IsCancelled(err) {
+				return nil, err
+			}
 			ok = false
 			break
 		}
@@ -421,6 +490,8 @@ func (e *Engine) OPAt(time float64) (*Solution, error) {
 		if err := e.newton(x, x, zero, netlist.DCOp, time, 0, e.Opt.Gmin, 1); err == nil {
 			e.trace("gmin-ok")
 			return e.solution(x), nil
+		} else if IsCancelled(err) {
+			return nil, err
 		}
 	}
 
@@ -431,10 +502,18 @@ func (e *Engine) OPAt(time float64) (*Solution, error) {
 		if s > 1 {
 			s = 1
 		}
+		e.met.Add(obs.CtrSourceRetries, 1)
 		if err := e.newton(x, x, zero, netlist.DCOp, time, 0, e.Opt.Gmin, s); err != nil {
+			if IsCancelled(err) {
+				return nil, err
+			}
 			// Retry the failed rung with elevated gmin before giving up.
 			e.trace("source-gmin-retry")
+			e.met.Add(obs.CtrSourceRetries, 1)
 			if err := e.newton(x, x, zero, netlist.DCOp, time, 0, 1e-6, s); err != nil {
+				if IsCancelled(err) {
+					return nil, err
+				}
 				return nil, fmt.Errorf("%w (source stepping stalled at %.2f)", ErrNoConvergence, s)
 			}
 		}
@@ -515,9 +594,10 @@ type TranSeg struct {
 // Transient runs a fixed-step backward-Euler transient from t = 0 to
 // tstop with nominal step dt, starting from the DC operating point at
 // t = 0. When a step fails to converge it is retried with up to 64× local
-// step refinement.
-func (e *Engine) Transient(tstop, dt float64) (*Tran, error) {
-	return e.TransientSchedule([]TranSeg{{Until: tstop, Dt: dt}})
+// step refinement. Cancelling ctx aborts between steps and between the
+// Newton iterations inside a step; the error then satisfies IsCancelled.
+func (e *Engine) Transient(ctx context.Context, tstop, dt float64) (*Tran, error) {
+	return e.TransientSchedule(ctx, []TranSeg{{Until: tstop, Dt: dt}})
 }
 
 // TransientSchedule runs a backward-Euler transient with a piecewise
@@ -525,8 +605,9 @@ func (e *Engine) Transient(tstop, dt float64) (*Tran, error) {
 // steps while quiet phases use coarse ones — backward Euler artificially
 // damps unstable (regenerative) modes when h·λ is large, so the latch
 // decision window must be resolved finely.
-func (e *Engine) TransientSchedule(segs []TranSeg) (*Tran, error) {
-	op, err := e.OP()
+func (e *Engine) TransientSchedule(ctx context.Context, segs []TranSeg) (*Tran, error) {
+	e.bind(ctx)
+	op, err := e.opAt(0)
 	if err != nil {
 		return nil, fmt.Errorf("transient initial OP: %w", err)
 	}
@@ -555,6 +636,11 @@ func (e *Engine) runSegment(tr *Tran, x []float64, t, tstop, dt float64) ([]floa
 		}
 		nx := make([]float64, e.nUnknowns) // this step's stored snapshot
 		if err := e.tranStep(nx, x, t, step); err != nil {
+			// A cancellation is an abort, not a convergence failure:
+			// skip the refinement ladder entirely.
+			if IsCancelled(err) {
+				return nil, 0, err
+			}
 			// Local refinement: substeps at step/2^k.
 			solved := false
 			for k := 1; k <= 6 && !solved; k++ {
@@ -565,6 +651,9 @@ func (e *Engine) runSegment(tr *Tran, x []float64, t, tstop, dt float64) ([]floa
 				okAll := true
 				for i := 0; i < 1<<k; i++ {
 					if err2 := e.tranStep(xs, xs, tt, sub); err2 != nil {
+						if IsCancelled(err2) {
+							return nil, 0, err2
+						}
 						okAll = false
 						break
 					}
@@ -594,14 +683,23 @@ func (e *Engine) tranStep(dst, x []float64, t, dt float64) error {
 	if err == nil {
 		return nil
 	}
+	if IsCancelled(err) {
+		return err
+	}
 	// One retry with elevated gmin, then polish. The intermediate lands
 	// in retryX so the previous state x (which dst may alias) survives
 	// until the polish has read it.
+	e.met.Add(obs.CtrGminRetries, 1)
 	if err2 := e.newton(e.retryX, x, x, netlist.Transient, t+dt, dt, 1e-9, 1); err2 != nil {
+		if IsCancelled(err2) {
+			return err2
+		}
 		return err
 	}
 	if err3 := e.newton(dst, e.retryX, x, netlist.Transient, t+dt, dt, e.Opt.Gmin, 1); err3 == nil {
 		return nil
+	} else if IsCancelled(err3) {
+		return err3
 	}
 	copy(dst, e.retryX)
 	return nil

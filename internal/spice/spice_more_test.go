@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestTransientScheduleSegments(t *testing.T) {
 	b.R("r1", "in", "out", 1000)
 	b.Cap("c1", "out", "0", 1e-6)
 	e := New(b.C, DefaultOptions())
-	tr, err := e.TransientSchedule([]TranSeg{
+	tr, err := e.TransientSchedule(context.Background(), []TranSeg{
 		{Until: 0.5e-3, Dt: 50e-6},
 		{Until: 1.0e-3, Dt: 5e-6}, // fine mid-window
 		{Until: 3.0e-3, Dt: 50e-6},
@@ -46,11 +47,11 @@ func TestOPAtTimeDependentSource(t *testing.T) {
 	b.Vsrc("v1", "a", "0", netlist.PWL{T: []float64{0, 1}, V: []float64{0, 10}})
 	b.R("r1", "a", "0", 1)
 	e := New(b.C, DefaultOptions())
-	at0, err := e.OPAt(0)
+	at0, err := e.OPAt(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	at1, err := e.OPAt(1)
+	at1, err := e.OPAt(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestFloatingNodeSolvable(t *testing.T) {
 	b.Vsrc("v1", "a", "0", netlist.DC(5))
 	b.R("r1", "a", "b", 1000)
 	b.Cap("c1", "b", "float", 1e-12)
-	sol, err := New(b.C, DefaultOptions()).OP()
+	sol, err := New(b.C, DefaultOptions()).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestCrossCoupledInverterPair(t *testing.T) {
 	b.NMOS("n2", "qb", "q", "0", 2, 2)
 	b.R("seed", "q", "vdd", 100e3) // weak asymmetry to escape metastability
 	e := New(b.C, DefaultOptions())
-	tr, err := e.Transient(200e-9, 0.2e-9)
+	tr, err := e.Transient(context.Background(), 200e-9, 0.2e-9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestSourceSteppingPath(t *testing.T) {
 		prev = out
 	}
 	b.R("fb", prev, nodeNameX(0), 10e3)
-	sol, err := New(b.C, DefaultOptions()).OP()
+	sol, err := New(b.C, DefaultOptions()).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestTranAtTimeBoundaries(t *testing.T) {
 	b := netlist.NewBuilder()
 	b.Vsrc("v1", "a", "0", netlist.DC(1))
 	b.R("r1", "a", "0", 1)
-	tr, err := New(b.C, DefaultOptions()).Transient(1e-6, 1e-7)
+	tr, err := New(b.C, DefaultOptions()).Transient(context.Background(), 1e-6, 1e-7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,12 +156,12 @@ func TestNoConvergenceError(t *testing.T) {
 	opt := DefaultOptions()
 	opt.MaxIter = 1
 	e := New(b.C, opt)
-	if _, err := e.OP(); err == nil {
+	if _, err := e.OP(context.Background()); err == nil {
 		t.Fatal("1-iteration Newton must fail")
 	}
 	// Transient with starved iterations fails through the refinement
 	// ladder too.
-	if _, err := e.Transient(1e-9, 0.1e-9); err == nil {
+	if _, err := e.Transient(context.Background(), 1e-9, 0.1e-9); err == nil {
 		t.Fatal("starved transient must fail")
 	}
 }
@@ -179,7 +180,7 @@ func TestOPGminSteppingRecovers(t *testing.T) {
 		b.NMOS("n"+out, out, prev, "0", 30, 1)
 		prev = out
 	}
-	sol, err := New(b.C, DefaultOptions()).OP()
+	sol, err := New(b.C, DefaultOptions()).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestVNodeGround(t *testing.T) {
 	b := netlist.NewBuilder()
 	b.Vsrc("v1", "a", "0", netlist.DC(1))
 	b.R("r1", "a", "0", 1)
-	sol, err := New(b.C, DefaultOptions()).OP()
+	sol, err := New(b.C, DefaultOptions()).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestACSolutionVGround(t *testing.T) {
 	b.Vsrc("v1", "a", "0", netlist.DC(1))
 	b.R("r1", "a", "0", 1)
 	e := New(b.C, DefaultOptions())
-	op, _ := e.OP()
+	op, _ := e.OP(context.Background())
 	sols, err := e.AC(op, "v1", []float64{10})
 	if err != nil {
 		t.Fatal(err)

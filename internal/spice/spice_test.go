@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -17,7 +18,7 @@ func TestResistorDividerOP(t *testing.T) {
 	b.Vsrc("v1", "in", "0", netlist.DC(10))
 	b.R("r1", "in", "mid", 1000)
 	b.R("r2", "mid", "0", 1000)
-	sol, err := engineFor(b).OP()
+	sol, err := engineFor(b).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestCurrentSourceOP(t *testing.T) {
 	b := netlist.NewBuilder()
 	b.Isrc("i1", "0", "a", netlist.DC(1e-3)) // pushes 1 mA into node a
 	b.R("r1", "a", "0", 2000)
-	sol, err := engineFor(b).OP()
+	sol, err := engineFor(b).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,14 +53,14 @@ func TestCMOSInverterVTC(t *testing.T) {
 		b.NMOS("mn", "out", "in", "0", 10, 1)
 		return engineFor(b)
 	}
-	lo, err := mk(5).OP()
+	lo, err := mk(5).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v := lo.V("out"); v > 0.05 {
 		t.Fatalf("out(in=5) = %g, want ~0", v)
 	}
-	hi, err := mk(0).OP()
+	hi, err := mk(0).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestCMOSInverterVTC(t *testing.T) {
 		t.Fatalf("IDDQ = %g, want ~0", i)
 	}
 	// Mid-rail input: both devices on, out between rails, current flows.
-	mid, err := mk(2.5).OP()
+	mid, err := mk(2.5).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestInverterVTCMonotone(t *testing.T) {
 		b.Vsrc("vin", "in", "0", netlist.DC(vin))
 		b.PMOS("mp", "out", "in", "vdd", "vdd", 20, 1)
 		b.NMOS("mn", "out", "in", "0", 10, 1)
-		sol, err := engineFor(b).OP()
+		sol, err := engineFor(b).OP(context.Background())
 		if err != nil {
 			t.Fatalf("vin=%g: %v", vin, err)
 		}
@@ -113,7 +114,7 @@ func TestBridgedShortFault(t *testing.T) {
 	b.PMOS("mp", "out", "in", "vdd", "vdd", 20, 1)
 	b.NMOS("mn", "out", "in", "0", 10, 1)
 	b.R("fault", "out", "0", 0.2)
-	sol, err := engineFor(b).OP()
+	sol, err := engineFor(b).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestRCTransient(t *testing.T) {
 	b.R("r1", "in", "out", 1000)
 	b.Cap("c1", "out", "0", 1e-6) // tau = 1 ms
 	e := engineFor(b)
-	tr, err := e.Transient(3e-3, 20e-6)
+	tr, err := e.Transient(context.Background(), 3e-3, 20e-6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestTransientCapHoldsCharge(t *testing.T) {
 	b.NMOS("msw", "in", "clk", "hold", 10, 1)
 	b.Cap("ch", "hold", "0", 1e-12)
 	e := engineFor(b)
-	tr, err := e.Transient(100e-9, 0.5e-9)
+	tr, err := e.Transient(context.Background(), 100e-9, 0.5e-9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,14 +191,14 @@ func TestDiffPairSteering(t *testing.T) {
 		b.Isrc("it", "tail", "0", netlist.DC(100e-6))
 		return engineFor(b)
 	}
-	bal, err := mk(0).OP()
+	bal, err := mk(0).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d := bal.V("o1") - bal.V("o2"); math.Abs(d) > 1e-3 {
 		t.Fatalf("balanced offset = %g", d)
 	}
-	pos, err := mk(0.2).OP()
+	pos, err := mk(0.2).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestOPConvergesOnStiffFault(t *testing.T) {
 	b.R("fault", "x", "0", 0.2)
 	b.PMOS("mp", "out", "x", "vdd", "vdd", 20, 1)
 	b.NMOS("mn", "out", "x", "0", 10, 1)
-	sol, err := engineFor(b).OP()
+	sol, err := engineFor(b).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestUnknownNodePanics(t *testing.T) {
 	b := netlist.NewBuilder()
 	b.Vsrc("v1", "a", "0", netlist.DC(1))
 	b.R("r1", "a", "0", 1)
-	sol, err := engineFor(b).OP()
+	sol, err := engineFor(b).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestUnknownVsrcPanics(t *testing.T) {
 	b := netlist.NewBuilder()
 	b.Vsrc("v1", "a", "0", netlist.DC(1))
 	b.R("r1", "a", "0", 1)
-	sol, err := engineFor(b).OP()
+	sol, err := engineFor(b).OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestQuickResistorChain(t *testing.T) {
 		}
 		// Last node to ground:
 		b.R("rend", nodeName(n), "0", 1e-6) // effectively ground tie
-		sol, err := engineFor(b).OP()
+		sol, err := engineFor(b).OP(context.Background())
 		if err != nil {
 			return false
 		}
@@ -297,7 +298,7 @@ func TestTranMeasurementHelpers(t *testing.T) {
 	b.Vsrc("v1", "a", "0", netlist.PWL{T: []float64{0, 1}, V: []float64{0, 1}})
 	b.R("r1", "a", "0", 1)
 	e := engineFor(b)
-	tr, err := e.Transient(1, 0.1)
+	tr, err := e.Transient(context.Background(), 1, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,9 +18,27 @@
 //	...
 //	cov := repro.Fig4(run, false)
 //	fmt.Printf("fault coverage: %.1f%%\n", cov.Total())
+//
+// # Cancellation and observability
+//
+// The underlying pipeline (internal/core) takes a context.Context on
+// every entry point — Run, RunMacro, DiscoverClasses, AnalyzeClass,
+// GoodSpace — and honours cancellation deep inside the analog kernel:
+// the Newton loop, the OP fallback ladder and the transient stepper all
+// poll ctx.Done, so a cancelled context aborts a fault simulation
+// mid-solve in bounded time. This package's Pipeline keeps the original
+// context-free Run/RunMacro signatures as thin wrappers over
+// context.Background; callers that need cancellation or per-stage
+// tracing (see internal/obs) use the embedded core.Pipeline directly:
+//
+//	p := repro.NewPipeline(repro.QuickConfig())
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	run, err := p.Pipeline.Run(ctx, false)
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -33,8 +51,6 @@ type (
 	// Config parameterises a methodology run (sprinkle sizes, Monte
 	// Carlo depth, detection thresholds).
 	Config = core.Config
-	// Pipeline binds the five-macro Flash ADC case study to a Config.
-	Pipeline = core.Pipeline
 	// Run is a full methodology outcome for one DfT setting.
 	Run = core.Run
 	// MacroRun is the per-macro outcome.
@@ -51,8 +67,30 @@ type (
 	TestPlan = testgen.Plan
 )
 
+// Pipeline binds the five-macro Flash ADC case study to a Config. It
+// wraps core.Pipeline, preserving the historical context-free Run and
+// RunMacro signatures; the embedded core.Pipeline exposes the full
+// context-taking API (Run, RunMacro, AnalyzeClass, RunParallel, …).
+type Pipeline struct {
+	*core.Pipeline
+}
+
 // NewPipeline constructs the case-study pipeline.
-func NewPipeline(cfg Config) *Pipeline { return core.NewPipeline(cfg) }
+func NewPipeline(cfg Config) *Pipeline { return &Pipeline{core.NewPipeline(cfg)} }
+
+// Run executes the whole methodology for one DfT setting under a
+// background context. Use the embedded core.Pipeline's Run for
+// cancellation.
+func (p *Pipeline) Run(dft bool) (*Run, error) {
+	return p.Pipeline.Run(context.Background(), dft)
+}
+
+// RunMacro executes the methodology for a single macro under a
+// background context. Use the embedded core.Pipeline's RunMacro for
+// cancellation.
+func (p *Pipeline) RunMacro(macroName string, dft bool) (*MacroRun, error) {
+	return p.Pipeline.RunMacro(context.Background(), macroName, dft)
+}
 
 // DefaultConfig is the full-fidelity configuration (minutes of CPU).
 func DefaultConfig() Config { return core.DefaultConfig() }

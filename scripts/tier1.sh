@@ -6,9 +6,13 @@
 #
 # Stages:
 #   1. gofmt -l        — formatting drift fails the build
-#   2. go build / vet  — compile + static checks, whole tree
-#   3. go test (+race) — unit + integration tests
-#   4. bench smoke     — every benchmark runs once (-benchtime=1x) so the
+#   2. grep-lint       — no context.TODO() / bare time.Now() in the
+#                        deterministic pipeline paths
+#   3. go build / vet  — compile + static checks, whole tree
+#   4. staticcheck     — when the binary is on PATH (skipped with a notice
+#                        otherwise; the container does not ship it)
+#   5. go test (+race) — unit + integration tests
+#   6. bench smoke     — every benchmark runs once (-benchtime=1x) so the
 #                        table/figure and kernel benchmarks cannot bit-rot
 set -eu
 
@@ -19,10 +23,33 @@ if [ -n "$fmt" ]; then
 	exit 1
 fi
 
+# Grep-lint: the deterministic pipeline must stay reproducible. A
+# context.TODO() marks an unthreaded context (the API takes ctx
+# everywhere now), and a bare time.Now() leaks wall-clock state into
+# results. Wall-clock use is legitimate only in the observability and
+# campaign-metrics layers (span timestamps, run wall time) and in CLIs /
+# tests, so those are excluded.
+lint=$(grep -rn --include='*.go' \
+	--exclude='*_test.go' \
+	--exclude-dir=obs --exclude-dir=campaign \
+	-e 'context\.TODO()' -e 'time\.Now()' \
+	internal/ repro.go 2>/dev/null || true)
+if [ -n "$lint" ]; then
+	echo "grep-lint: forbidden context.TODO()/time.Now() in deterministic pipeline paths:" >&2
+	echo "$lint" >&2
+	exit 1
+fi
+
 short=${SHORT:+-short}
 
 go build ./...
 go vet ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "tier1: staticcheck not found, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+fi
 go test $short ./...
 go test $short -race ./...
 go test -bench=. -benchtime=1x ./...
