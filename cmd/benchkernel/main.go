@@ -9,6 +9,12 @@
 // Usage:
 //
 //	benchkernel [-o BENCH_kernel.json] [-benchtime 1s] [-v]
+//	benchkernel -check BENCH_kernel.json [-benchtime 100ms]
+//
+// With -check the suite runs and is compared against the checked-in
+// snapshot instead of writing one: the command fails only on a more than
+// 2x ns/op regression or on any allocs/op increase, thresholds loose
+// enough that machine noise passes but a lost optimisation does not.
 package main
 
 import (
@@ -49,6 +55,7 @@ func main() {
 		out       = flag.String("o", "BENCH_kernel.json", "output file (\"-\" for stdout)")
 		benchtime = flag.Duration("benchtime", time.Second, "minimum run time per case")
 		verbose   = flag.Bool("v", false, "log each case as it completes")
+		check     = flag.String("check", "", "compare against this snapshot instead of writing one")
 	)
 	flag.Parse()
 
@@ -78,6 +85,14 @@ func main() {
 		}
 	}
 
+	if *check != "" {
+		if err := checkAgainst(*check, snap.Results); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bench guard: %d cases within bounds of %s\n", len(snap.Results), *check)
+		return
+	}
+
 	data, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -91,4 +106,59 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// maxNsRegression is the ns/op regression factor the guard tolerates.
+// Run-to-run noise on a loaded machine stays well under 2x; a reverted
+// kernel optimisation (the sparse factorisation alone is worth more than
+// that on the analyzeclass case) does not.
+const maxNsRegression = 2.0
+
+// checkAgainst compares fresh results to the snapshot at path. A case
+// fails on a more than maxNsRegression ns/op slowdown or on any
+// allocs/op increase; allocation counts are deterministic per op, so an
+// increase is a real regression, not noise. Cases on only one side are
+// reported but do not fail (the suite grows over time; the snapshot is
+// regenerated whenever it does).
+func checkAgainst(path string, fresh []Result) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	base := map[string]Result{}
+	for _, r := range snap.Results {
+		base[r.Name] = r
+	}
+	var failed bool
+	for _, r := range fresh {
+		b, ok := base[r.Name]
+		if !ok {
+			log.Printf("%-28s not in snapshot, skipping", r.Name)
+			continue
+		}
+		delete(base, r.Name)
+		status := "ok"
+		if r.NsPerOp > b.NsPerOp*maxNsRegression {
+			status = fmt.Sprintf("FAIL: ns/op regressed %.2fx (limit %gx)",
+				r.NsPerOp/b.NsPerOp, maxNsRegression)
+			failed = true
+		}
+		if r.AllocsOp > b.AllocsOp {
+			status = fmt.Sprintf("FAIL: allocs/op %d -> %d", b.AllocsOp, r.AllocsOp)
+			failed = true
+		}
+		log.Printf("%-28s %12.0f ns/op (snap %12.0f) %6d allocs/op (snap %6d)  %s",
+			r.Name, r.NsPerOp, b.NsPerOp, r.AllocsOp, b.AllocsOp, status)
+	}
+	for name := range base {
+		log.Printf("%-28s in snapshot but not measured", name)
+	}
+	if failed {
+		return fmt.Errorf("kernel benchmarks regressed against %s", path)
+	}
+	return nil
 }

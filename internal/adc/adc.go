@@ -43,6 +43,7 @@ type ADC struct {
 	Decode Decoder
 
 	sampleSeq uint64 // drives the deterministic Erratic toggles
+	thermo    []bool // per-instance Convert scratch (ADC is not concurrency-safe)
 }
 
 // New builds a fault-free n-tap ADC spanning [vlo, vhi]. With n = 256 this
@@ -91,9 +92,42 @@ func FirstZeroDecode(thermo []bool) int {
 	return len(thermo)
 }
 
+// allDefault reports whether every slice is a plain comparator (no
+// stuck outputs, no erratic toggles) decoded by the default
+// FirstZeroDecode — the common fault-free-or-offset-only case where
+// Convert reduces to finding the first unfired comparator.
+func (a *ADC) allDefault() bool {
+	if a.Decode != nil {
+		return false
+	}
+	for i := range a.Comps {
+		if c := &a.Comps[i]; c.Stuck != StuckNone || c.Erratic {
+			return false
+		}
+	}
+	return true
+}
+
+// convertDefault is Convert specialised to the allDefault case: with
+// FirstZeroDecode the first comparator that does not fire decides the
+// code, so the scan stops there. The comparisons are exactly Convert's,
+// so the result is identical — only the already-determined tail is
+// skipped.
+func (a *ADC) convertDefault(vin float64) int {
+	for i := range a.Taps {
+		if !(vin > a.Taps[i]+a.Comps[i].Offset) {
+			return i
+		}
+	}
+	return len(a.Taps)
+}
+
 // Convert produces the output code for one input sample.
 func (a *ADC) Convert(vin float64) int {
-	thermo := make([]bool, len(a.Taps))
+	if len(a.thermo) < len(a.Taps) {
+		a.thermo = make([]bool, len(a.Taps))
+	}
+	thermo := a.thermo[:len(a.Taps)]
 	for i := range a.Taps {
 		c := &a.Comps[i]
 		switch {
@@ -143,6 +177,7 @@ func (a *ADC) MissingCodeTest(vlo, vhi float64, samples int) *RampResult {
 	res := &RampResult{Hist: make([]int, a.Codes()), Samples: samples}
 	span := vhi - vlo
 	over := 0.02 * span // sweep 2 % beyond the range ends
+	fast := a.allDefault()
 	for i := 0; i < samples; i++ {
 		ph := 2 * float64(i) / float64(samples) // 0..2 → up and down
 		var v float64
@@ -151,7 +186,11 @@ func (a *ADC) MissingCodeTest(vlo, vhi float64, samples int) *RampResult {
 		} else {
 			v = vhi + over - (ph-1)*(span+2*over)
 		}
-		res.Hist[a.Convert(v)]++
+		if fast {
+			res.Hist[a.convertDefault(v)]++
+		} else {
+			res.Hist[a.Convert(v)]++
+		}
 	}
 	for code, n := range res.Hist {
 		if n == 0 {

@@ -202,6 +202,15 @@ type Pipeline struct {
 	mu       sync.Mutex
 	nomParts map[bool]map[string]*signature.Response
 	good     map[bool]*signature.GoodSpace
+
+	// pool reuses fault-free simulation engines across class analyses
+	// (checkout semantics — concurrent campaign workers each hold at
+	// most one engine per circuit key at a time); base memoises the
+	// fault-free baseline responses the analyses compare against. Both
+	// are bit-identity-preserving caches: a hit returns exactly what a
+	// recompute would, so serial and parallel campaigns stay byte-equal.
+	pool *macros.EnginePool
+	base *macros.Baselines
 }
 
 // NewPipeline constructs the five-macro pipeline of the case study.
@@ -216,6 +225,8 @@ func NewPipeline(cfg Config) *Pipeline {
 		decoder:  macros.NewDecoder(),
 		nomParts: map[bool]map[string]*signature.Response{},
 		good:     map[bool]*signature.GoodSpace{},
+		pool:     macros.NewEnginePool(),
+		base:     macros.NewBaselines(),
 	}
 	p.all = []macros.Macro{p.cmp, p.ladder, p.biasgen, p.clock, p.decoder}
 	return p
@@ -236,6 +247,7 @@ func (p *Pipeline) partsFor(ctx context.Context, v macros.Variation, dft bool, c
 	opt := macros.RespondOpts{
 		Var: v, DfT: dft, CurrentsOnly: currentsOnly,
 		Obs: p.Obs, Metrics: met,
+		Pool: p.pool, Base: p.base,
 	}
 	parts := map[string]*signature.Response{}
 	for _, m := range []macros.Macro{p.cmp, p.ladder, p.clock, p.decoder} {
@@ -422,6 +434,7 @@ func (p *Pipeline) AnalyzeClass(ctx context.Context, macroName string, c faults.
 	resp, err := m.Respond(ctx, &c.Fault, macros.RespondOpts{
 		NonCat: nonCat, Var: macros.Nominal(), DfT: dft,
 		Obs: p.Obs, Class: label, Macro: macroName, Metrics: met,
+		Pool: p.pool, Base: p.base,
 	})
 	if err != nil {
 		// A cancelled analysis must surface as an abort — folding it

@@ -160,7 +160,11 @@ func Cases() []Case {
 		}},
 		{Name: "tran/comparator-respond", Bench: func(b *testing.B) {
 			m := macros.NewComparator()
-			opt := macros.RespondOpts{Var: macros.Nominal(), CurrentsOnly: true}
+			// The pool mirrors the campaign's steady state: the pipeline
+			// owns one, so repeated fault-free responses reuse a warm
+			// engine and only retune the input source.
+			opt := macros.RespondOpts{Var: macros.Nominal(), CurrentsOnly: true,
+				Pool: macros.NewEnginePool()}
 			if _, err := m.Respond(context.Background(), nil, opt); err != nil {
 				b.Fatal(err)
 			}

@@ -82,6 +82,29 @@ func (l *LadderMacro) solveTaps(ctx context.Context, f *faults.Fault, opt Respon
 	return taps, sol.I("vrefhi"), sol.I("vreflo"), nil
 }
 
+// nominalTaps returns the fault-free tap voltages under opt's variation,
+// through the baseline cache when one is attached — every class analysis
+// needs the same reference vector, so the good machine is solved once
+// per variation instead of once per class. The cached slice is shared
+// read-only; the circuit is fully determined by the variation (the
+// ladder has no DfT variant), so a hit is bit-for-bit a recompute.
+func (l *LadderMacro) nominalTaps(ctx context.Context, opt RespondOpts) ([]float64, error) {
+	if taps, ok := opt.Base.ladderTaps(opt.Var); ok {
+		// The hit replaces a StageFaultSim solve; emit the counter
+		// inside a span so trace sinks see it.
+		sp := opt.span(obs.StageFaultSim, l.Name())
+		opt.Metrics.Add(obs.CtrBaselineCacheHits, 1)
+		sp.End()
+		return taps, nil
+	}
+	taps, _, _, err := l.solveTaps(ctx, nil, opt)
+	if err != nil {
+		return nil, err
+	}
+	opt.Base.storeLadderTaps(opt.Var, taps)
+	return taps, nil
+}
+
 // Respond implements Macro. The voltage signature is determined by
 // propagating the faulty tap voltages through the high-level ADC model
 // (ideal comparators, faulty references) and running the missing-code
@@ -108,7 +131,7 @@ func (l *LadderMacro) Respond(ctx context.Context, f *faults.Fault, opt RespondO
 
 	// Nominal taps under the same variation (ratiometric: uniform rho
 	// scaling leaves them unchanged, so deviations isolate the fault).
-	nomTaps, _, _, err := l.solveTaps(ctx, nil, opt)
+	nomTaps, err := l.nominalTaps(ctx, opt)
 	if err != nil {
 		return nil, err
 	}

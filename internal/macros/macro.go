@@ -131,6 +131,15 @@ type RespondOpts struct {
 	// (Newton iterations, LU solves, convergence retries) across the
 	// response's simulations.
 	Metrics *obs.Metrics
+	// Pool, when non-nil, reuses fault-free simulation engines across
+	// Respond calls (checkout semantics; see EnginePool). Faulty runs
+	// always build fresh engines.
+	Pool *EnginePool
+	// Base, when non-nil, memoises fault-free baseline results (nominal
+	// ladder taps, comparator good-machine responses) so repeated class
+	// analyses stop re-simulating the good machine. Hits are counted on
+	// Metrics under obs.CtrBaselineCacheHits.
+	Base *Baselines
 }
 
 // span opens an observability span labelled with this response's class

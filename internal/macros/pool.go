@@ -1,0 +1,168 @@
+package macros
+
+import (
+	"sync"
+
+	"repro/internal/signature"
+	"repro/internal/spice"
+)
+
+// engineKey identifies one fault-free simulation circuit exactly: the
+// macro, its reference tap, the DfT setting and the full variation draw
+// together determine every element value of the testbench except the
+// input-source waveform, which checkouts retune (a bit-identical
+// operation — see spice.Engine.RetuneVSource). Faulty circuits are
+// never pooled: injection rewrites the topology, so a faulty engine is
+// built fresh and discarded.
+type engineKey struct {
+	macro string
+	vref  float64
+	dft   bool
+	v     Variation
+}
+
+// EnginePool caches fault-free spice engines across Respond calls with
+// checkout semantics: acquire removes an engine from the pool, giving
+// the caller exclusive use (engines are single-goroutine objects), and
+// release returns it once the caller has extracted everything from the
+// analysis results (a Tran aliases engine-owned storage). Concurrent
+// campaign workers that miss simply build a fresh engine and check it
+// in afterwards, so the pool converges to one warm engine per worker
+// per key. Reuse is bit-identical to fresh construction: every analysis
+// restarts Newton from the zero vector, and the only state a checkout
+// mutates is the input-source waveform.
+//
+// A nil *EnginePool disables pooling (every acquire misses and every
+// release discards), so callers thread it unconditionally.
+type EnginePool struct {
+	mu      sync.Mutex
+	engines map[engineKey][]*spice.Engine
+}
+
+// NewEnginePool returns an empty pool.
+func NewEnginePool() *EnginePool {
+	return &EnginePool{engines: map[engineKey][]*spice.Engine{}}
+}
+
+// acquire checks an engine out of the pool (nil on a miss).
+func (p *EnginePool) acquire(k engineKey) *spice.Engine {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.engines[k]
+	if len(s) == 0 {
+		return nil
+	}
+	e := s[len(s)-1]
+	p.engines[k] = s[:len(s)-1]
+	return e
+}
+
+// release checks an engine back in under its key.
+func (p *EnginePool) release(k engineKey, e *spice.Engine) {
+	if p == nil || e == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.engines[k] = append(p.engines[k], e)
+}
+
+// size reports the number of pooled (checked-in) engines.
+func (p *EnginePool) size() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, s := range p.engines {
+		n += len(s)
+	}
+	return n
+}
+
+// cmpNomKey identifies one cached comparator fault-free response: the
+// circuit identity (vref, dft, variation) plus the CurrentsOnly flag,
+// which changes what the response contains.
+type cmpNomKey struct {
+	vref         float64
+	dft          bool
+	currentsOnly bool
+	v            Variation
+}
+
+// Baselines memoises fault-free ("good machine") baseline results that
+// class analyses would otherwise re-simulate per class: the ladder's
+// nominal tap voltages under one variation, and the comparator's full
+// fault-free response (the gate-oxide-short worst-case reference).
+// Entries are stored only from completed, error-free simulations and
+// only for f == nil runs — a faulty analysis can neither read nor write
+// the cache, so a fault never sees (or poisons) a fault-free baseline.
+// Cached values are shared read-only across callers; all consumers only
+// read them, and because the simulations are deterministic, a cache hit
+// returns bit-for-bit the vector a recompute would.
+//
+// A nil *Baselines disables memoisation.
+type Baselines struct {
+	mu     sync.Mutex
+	ladder map[Variation][]float64
+	cmpNom map[cmpNomKey]*signature.Response
+}
+
+// NewBaselines returns an empty baseline cache.
+func NewBaselines() *Baselines {
+	return &Baselines{
+		ladder: map[Variation][]float64{},
+		cmpNom: map[cmpNomKey]*signature.Response{},
+	}
+}
+
+// ladderTaps returns the cached nominal tap voltages for one variation.
+func (b *Baselines) ladderTaps(v Variation) ([]float64, bool) {
+	if b == nil {
+		return nil, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	taps, ok := b.ladder[v]
+	return taps, ok
+}
+
+// storeLadderTaps records the nominal tap voltages for one variation.
+// First store wins (concurrent computes produce identical vectors).
+func (b *Baselines) storeLadderTaps(v Variation, taps []float64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.ladder[v]; !ok {
+		b.ladder[v] = taps
+	}
+}
+
+// comparatorNominal returns the cached fault-free comparator response.
+func (b *Baselines) comparatorNominal(k cmpNomKey) (*signature.Response, bool) {
+	if b == nil {
+		return nil, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, ok := b.cmpNom[k]
+	return r, ok
+}
+
+// storeComparatorNominal records a fault-free comparator response.
+func (b *Baselines) storeComparatorNominal(k cmpNomKey, r *signature.Response) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.cmpNom[k]; !ok {
+		b.cmpNom[k] = r
+	}
+}

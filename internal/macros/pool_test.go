@@ -1,0 +1,177 @@
+package macros
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// TestPooledRespondBitIdentical pins the engine-pool reuse contract: a
+// fault-free comparator response served from a warm pooled engine must be
+// bit-for-bit the response a fresh engine produces.
+func TestPooledRespondBitIdentical(t *testing.T) {
+	m := NewComparator()
+	ctx := context.Background()
+	fresh, err := m.Respond(ctx, nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewEnginePool()
+	opt := RespondOpts{Var: Nominal(), CurrentsOnly: true, Pool: pool}
+	first, err := m.Respond(ctx, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.size() == 0 {
+		t.Fatal("fault-free run did not check its engine into the pool")
+	}
+	// The second call checks the warm engine out and retunes it.
+	second, err := m.Respond(ctx, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, first) || !reflect.DeepEqual(fresh, second) {
+		t.Fatalf("pooled responses diverge from fresh:\nfresh  %+v\nfirst  %+v\nsecond %+v",
+			fresh, first, second)
+	}
+}
+
+// TestFaultyRespondBypassesPool is the pool-invalidation contract: a
+// faulty run must neither check out a pooled fault-free engine (its
+// topology is rewritten by injection) nor check its own engine in, and a
+// fault-free run after it must still see an unpoisoned pool.
+func TestFaultyRespondBypassesPool(t *testing.T) {
+	m := NewComparator()
+	ctx := context.Background()
+	pool := NewEnginePool()
+	opt := RespondOpts{Var: Nominal(), CurrentsOnly: true, Pool: pool}
+
+	fresh, err := m.Respond(ctx, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := pool.size()
+	if warm == 0 {
+		t.Fatal("fault-free run did not populate the pool")
+	}
+
+	f := &faults.Fault{Kind: faults.Short, Nets: []string{"o1", "vss"}, Res: 0.2}
+	faulty, err := m.Respond(ctx, f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.size(); got != warm {
+		t.Fatalf("faulty run changed the pool: size %d -> %d", warm, got)
+	}
+	if reflect.DeepEqual(fresh, faulty) {
+		t.Fatal("hard short produced the fault-free response; fault was not injected")
+	}
+
+	after, err := m.Respond(ctx, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, after) {
+		t.Fatalf("fault-free response after a faulty run diverged:\nwant %+v\ngot  %+v", fresh, after)
+	}
+}
+
+// TestLadderBaselineCacheBitIdentical pins the baseline-memo contract on
+// the ladder: a class analysis served a cached nominal tap vector must
+// produce the exact response of a recompute, the hit must be counted,
+// and faulty results must never poison the fault-free cache.
+func TestLadderBaselineCacheBitIdentical(t *testing.T) {
+	l := NewLadder()
+	ctx := context.Background()
+	f := &faults.Fault{Kind: faults.Short, Nets: []string{"t096", "t128"}, Res: 25}
+
+	want, err := l.Respond(ctx, f, RespondOpts{Var: Nominal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	met := &obs.Metrics{}
+	base := NewBaselines()
+	opt := RespondOpts{Var: Nominal(), Base: base, Metrics: met}
+	first, err := l.Respond(ctx, f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := met.Get(obs.CtrBaselineCacheHits); n != 0 {
+		t.Fatalf("first analysis hit a cold cache (%d hits)", n)
+	}
+	second, err := l.Respond(ctx, f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := met.Get(obs.CtrBaselineCacheHits); n != 1 {
+		t.Fatalf("second analysis: %d baseline hits, want 1", n)
+	}
+	if !reflect.DeepEqual(want, first) || !reflect.DeepEqual(want, second) {
+		t.Fatalf("cached-baseline responses diverge:\nwant   %+v\nfirst  %+v\nsecond %+v",
+			want, first, second)
+	}
+
+	// A different die must not see this variation's baseline.
+	other := Nominal()
+	other.RhoScale = 1.01
+	if _, err := l.Respond(ctx, f, RespondOpts{Var: other, Base: base, Metrics: met}); err != nil {
+		t.Fatal(err)
+	}
+	if n := met.Get(obs.CtrBaselineCacheHits); n != 1 {
+		t.Fatalf("variation change reused a stale baseline (%d hits)", n)
+	}
+
+	// The fault-free ladder itself, analysed through the same cache, must
+	// match a cache-free run — the faulty analyses cannot have stored
+	// their taps.
+	wantFree, err := l.Respond(ctx, nil, RespondOpts{Var: Nominal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFree, err := l.Respond(ctx, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantFree, gotFree) {
+		t.Fatalf("fault-free response through a used cache diverged:\nwant %+v\ngot  %+v", wantFree, gotFree)
+	}
+}
+
+// TestComparatorGOSBaselineCache exercises the comparator's memoised
+// fault-free reference on the gate-oxide-short worst-case ranking: the
+// second pinhole analysis must hit the cache and return the identical
+// worst-case signature.
+func TestComparatorGOSBaselineCache(t *testing.T) {
+	m := NewComparator()
+	ctx := context.Background()
+	f := &faults.Fault{Kind: faults.GOSPinhole, Device: "m1"}
+
+	want, err := m.Respond(ctx, f, RespondOpts{Var: Nominal(), CurrentsOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	met := &obs.Metrics{}
+	opt := RespondOpts{Var: Nominal(), CurrentsOnly: true,
+		Base: NewBaselines(), Pool: NewEnginePool(), Metrics: met}
+	first, err := m.Respond(ctx, f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.Respond(ctx, f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := met.Get(obs.CtrBaselineCacheHits); n < 1 {
+		t.Fatalf("second pinhole analysis recomputed the nominal reference (%d hits)", n)
+	}
+	if !reflect.DeepEqual(want, first) || !reflect.DeepEqual(want, second) {
+		t.Fatalf("cached-reference responses diverge:\nwant   %+v\nfirst  %+v\nsecond %+v",
+			want, first, second)
+	}
+}

@@ -15,6 +15,10 @@ func (c *Capacitor) InactiveIn(mode StampMode) bool { return mode == DCOp }
 // StampItem is one element occurrence in a compiled stamp program.
 type StampItem struct {
 	El Element
+	// BS is El's BStamper view when it implements one (nil otherwise),
+	// resolved at compile time so the engine's B-side re-recording loop
+	// avoids a per-solve type assertion.
+	BS BStamper
 	// AuxBase is the element's first MNA auxiliary index (as assigned by
 	// the engine), passed through to Stamp.
 	AuxBase int
@@ -70,6 +74,9 @@ func CompileStamps(c *Circuit, mode StampMode, auxBase []int) *StampProgram {
 			continue
 		}
 		it := StampItem{El: el, AuxBase: auxBase[i], Linear: el.Linear()}
+		if bs, ok := el.(BStamper); ok {
+			it.BS = bs
+		}
 		if n := len(p.Segs); n == 0 || p.Segs[n-1].Linear != it.Linear {
 			p.Segs = append(p.Segs, StampSeg{Linear: it.Linear, From: len(p.Items)})
 		}

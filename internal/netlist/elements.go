@@ -37,6 +37,10 @@ func (r *Resistor) Stamp(ctx *Context, _ int) {
 	ctx.StampG(r.A, r.B, 1/r.R)
 }
 
+// StampB implements BStamper: a resistor is pure conductance, so the
+// B-side re-recording has nothing to do.
+func (r *Resistor) StampB(*Context, int) {}
+
 // Capacitor is a linear two-terminal capacitance. In DC it is an open
 // circuit; in transient analysis it uses the backward-Euler companion
 // model g = C/dt with an equivalent history current.
@@ -81,6 +85,17 @@ func (c *Capacitor) Stamp(ctx *Context, _ int) {
 	ctx.StampG(c.A, c.B, g)
 	// History source: i_eq = g * vPrev flowing B -> A (charging current
 	// continues in the established direction).
+	ctx.StampI(c.B, c.A, g*vPrev)
+}
+
+// StampB implements BStamper: only the history current source, computed
+// exactly as in Stamp, without the conductance writes.
+func (c *Capacitor) StampB(ctx *Context, _ int) {
+	if ctx.Mode == DCOp {
+		return
+	}
+	g := c.C / ctx.Dt
+	vPrev := ctx.XPrevAt(c.A) - ctx.XPrevAt(c.B)
 	ctx.StampI(c.B, c.A, g*vPrev)
 }
 
@@ -217,6 +232,12 @@ func (v *VSource) Stamp(ctx *Context, auxBase int) {
 	ctx.StampVS(v.P, v.N, auxBase, v.W.At(ctx.Time)*ctx.SrcScale)
 }
 
+// StampB implements BStamper: the branch-voltage right-hand side of
+// StampVS, without the ±1 incidence entries.
+func (v *VSource) StampB(ctx *Context, auxBase int) {
+	ctx.AddB(auxBase, v.W.At(ctx.Time)*ctx.SrcScale)
+}
+
 // ISource is an ideal independent current source. Following the SPICE
 // convention, a positive value drives current from P through the source
 // to N.
@@ -257,5 +278,11 @@ func (s *ISource) Linear() bool { return true }
 
 // Stamp implements Element.
 func (s *ISource) Stamp(ctx *Context, _ int) {
+	ctx.StampI(s.P, s.N, s.W.At(ctx.Time)*ctx.SrcScale)
+}
+
+// StampB implements BStamper: an ideal current source stamps only the
+// right-hand side, so this is Stamp verbatim.
+func (s *ISource) StampB(ctx *Context, _ int) {
 	ctx.StampI(s.P, s.N, s.W.At(ctx.Time)*ctx.SrcScale)
 }

@@ -251,6 +251,17 @@ type Element interface {
 	Linear() bool
 }
 
+// BStamper is an optional interface for linear elements whose A-side
+// stamp does not depend on time or the previous timestep. StampB must
+// perform exactly the AddB calls Stamp would perform — same values, same
+// order — and skip all AddA calls. The engine invokes it instead of
+// Stamp when re-recording only the right-hand side under a still-valid
+// A-side recording, so elements avoid recomputing matrix entries that
+// would be discarded anyway.
+type BStamper interface {
+	StampB(ctx *Context, auxBase int)
+}
+
 // badTerminal formats the panic message for Retarget misuse.
 func badTerminal(name string, i int) string {
 	return fmt.Sprintf("netlist: element %s has no terminal %d", name, i)

@@ -62,6 +62,16 @@ const (
 	CtrSourceRetries
 	// CtrSprinkleDraws counts sprinkled defects.
 	CtrSprinkleDraws
+	// CtrSparseFactorHits counts LU factorisations that ran over the
+	// cached symbolic sparsity pattern.
+	CtrSparseFactorHits
+	// CtrDenseFallbacks counts LU factorisations that went through the
+	// dense path of a sparsity-aware workspace: first-time pattern
+	// learning and pivot-cache mismatches.
+	CtrDenseFallbacks
+	// CtrBaselineCacheHits counts fault-free baseline responses served
+	// from the memoised cache instead of re-simulating the good machine.
+	CtrBaselineCacheHits
 
 	// NumCounters is the size of a Metrics block.
 	NumCounters
@@ -74,6 +84,9 @@ var counterNames = [NumCounters]string{
 	"gmin_retries",
 	"source_retries",
 	"sprinkle_draws",
+	"sparse_factor_hits",
+	"dense_fallbacks",
+	"baseline_cache_hits",
 }
 
 // Name returns the canonical (JSON) name of the counter.

@@ -30,6 +30,108 @@ func (m *CMatrix) Zero() {
 	}
 }
 
+// CLU is a reusable complex factorisation workspace, the AC analogue of
+// the real LU: the triangular factors, multipliers and pivot sequence
+// live in cached buffers so a frequency sweep performs no per-point
+// allocations. The elimination is operation-for-operation the one
+// CSolve performs, and SolveInto replays the right-hand-side updates in
+// CSolve's interleaved order, so factoring once and solving separately
+// is bit-identical to the combined CSolve.
+type CLU struct {
+	n    int
+	lu   []complex128
+	step []int32 // per-step pivot row (p == k: no interchange)
+	// lmul stores the multiplier of elimination step k acting on
+	// working row i at cell (i, k) — and is never row-swapped. CSolve
+	// applies each right-hand-side update at the moment of elimination,
+	// when the multiplier sits at its working-time row; interchanges of
+	// later steps then relocate it inside the in-place array, so the
+	// replay must read from this positionally-frozen copy.
+	lmul []complex128
+}
+
+// NewCLU returns a workspace for n×n complex systems.
+func NewCLU(n int) *CLU {
+	return &CLU{n: n, lu: make([]complex128, n*n), step: make([]int32, n), lmul: make([]complex128, n*n)}
+}
+
+// Refactor factors m with partial pivoting into the workspace's cached
+// buffers, allocation-free. m is not modified.
+func (f *CLU) Refactor(m *CMatrix) error {
+	n := f.n
+	if m.N != n {
+		return fmt.Errorf("solver: complex refactor size %d into workspace of size %d", m.N, n)
+	}
+	a := f.lu
+	copy(a, m.A)
+	const tiny = 1e-300
+	for k := 0; k < n; k++ {
+		p, max := k, cmplx.Abs(a[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(a[i*n+k]); v > max {
+				p, max = i, v
+			}
+		}
+		if max < tiny {
+			return fmt.Errorf("%w: complex pivot %d", ErrSingular, k)
+		}
+		f.step[k] = int32(p)
+		if p != k {
+			for j := 0; j < n; j++ {
+				a[k*n+j], a[p*n+j] = a[p*n+j], a[k*n+j]
+			}
+		}
+		pivot := a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := a[i*n+k] / pivot
+			// A zero multiplier is stored too; SolveInto skips zero
+			// multipliers exactly as CSolve skips the corresponding
+			// right-hand-side updates.
+			f.lmul[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			a[i*n+k] = l
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= l * a[k*n+j]
+			}
+		}
+	}
+	return nil
+}
+
+// SolveInto solves A·x = b for the factored A into the caller-provided
+// x (len n), allocation-free. b is not modified; x must not alias b.
+func (f *CLU) SolveInto(x, b []complex128) []complex128 {
+	n := f.n
+	a := f.lu
+	copy(x, b)
+	// Forward pass in CSolve's interleaved order: per elimination step,
+	// the interchange then the row updates, ascending, with each
+	// multiplier read at its working-time position.
+	for k := 0; k < n; k++ {
+		if p := int(f.step[k]); p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+		for i := k + 1; i < n; i++ {
+			l := f.lmul[i*n+k]
+			if l == 0 {
+				continue
+			}
+			x[i] -= l * x[k]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*n+j] * x[j]
+		}
+		x[i] = s / a[i*n+i]
+	}
+	return x
+}
+
 // CSolve factors m in place (with partial pivoting) and solves m·x = b.
 // m and b are both clobbered; x aliases b's storage.
 func CSolve(m *CMatrix, b []complex128) ([]complex128, error) {

@@ -85,13 +85,18 @@ type LU struct {
 	lu   []float64
 	piv  []int
 	sign int
+	// step records, per elimination step k, which row p ≥ k was chosen
+	// as the pivot (p == k when no interchange happened). It is the
+	// sequence the sparse path caches and later verifies against; the
+	// permutation in piv is its composed form.
+	step []int32
 }
 
 // NewLU returns a reusable factorisation workspace for n×n systems. A
 // single workspace amortises the pivot/permutation and triangular-factor
 // buffers across every Refactor/SolveInto of a Newton iteration loop.
 func NewLU(n int) *LU {
-	return &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	return &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1, step: make([]int32, n)}
 }
 
 // Factor computes the LU factorisation of m with partial pivoting. m is not
@@ -130,6 +135,7 @@ func (f *LU) Refactor(m *Matrix) error {
 		if max < tiny {
 			return fmt.Errorf("%w: pivot %d (|p|=%g)", ErrSingular, k, max)
 		}
+		f.step[k] = int32(p)
 		if p != k {
 			for j := 0; j < n; j++ {
 				f.lu[k*n+j], f.lu[p*n+j] = f.lu[p*n+j], f.lu[k*n+j]

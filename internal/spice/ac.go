@@ -44,22 +44,35 @@ func (e *Engine) AC(op *Solution, source string, freqs []float64) ([]*ACSolution
 			return nil, fmt.Errorf("spice: AC source %q not found", source)
 		}
 	}
+	// The complex matrix, right-hand side and factorisation workspace
+	// live on the engine and are reused across every frequency point and
+	// every sweep; only the per-point solution vector (which ACSolution
+	// retains) is allocated. Factor-then-solve through the workspace is
+	// bit-identical to the combined CSolve this loop used to call.
+	if e.acA == nil {
+		e.acA = solver.NewCMatrix(e.nUnknowns)
+		e.acB = make([]complex128, e.nUnknowns)
+		e.aclu = solver.NewCLU(e.nUnknowns)
+	}
+	a, b := e.acA, e.acB
+	ctx := &netlist.ACContext{
+		Source: source,
+		X: func(n netlist.NodeID) float64 {
+			if n == netlist.Ground {
+				return 0
+			}
+			return op.X[int(n)-1]
+		},
+		A: a.Add,
+		B: func(i int, v complex128) { b[i] += v },
+	}
 	out := make([]*ACSolution, 0, len(freqs))
 	for _, f := range freqs {
-		a := solver.NewCMatrix(e.nUnknowns)
-		b := make([]complex128, e.nUnknowns)
-		ctx := &netlist.ACContext{
-			Omega:  2 * math.Pi * f,
-			Source: source,
-			X: func(n netlist.NodeID) float64 {
-				if n == netlist.Ground {
-					return 0
-				}
-				return op.X[int(n)-1]
-			},
-			A: a.Add,
-			B: func(i int, v complex128) { b[i] += v },
+		a.Zero()
+		for i := range b {
+			b[i] = 0
 		}
+		ctx.Omega = 2 * math.Pi * f
 		for i, el := range e.Ckt.Elems {
 			ac, ok := el.(netlist.ACStamper)
 			if !ok {
@@ -72,10 +85,10 @@ func (e *Engine) AC(op *Solution, source string, freqs []float64) ([]*ACSolution
 		for i := 0; i < e.nNodeVars; i++ {
 			a.Add(i, i, 1e-12)
 		}
-		x, err := solver.CSolve(a, b)
-		if err != nil {
+		if err := e.aclu.Refactor(a); err != nil {
 			return nil, fmt.Errorf("spice: AC at %g Hz: %w", f, err)
 		}
+		x := e.aclu.SolveInto(make([]complex128, e.nUnknowns), b)
 		out = append(out, &ACSolution{e: e, Freq: f, X: x})
 	}
 	return out, nil

@@ -101,7 +101,6 @@ type Engine struct {
 	// Reusable Newton workspaces.
 	a      *solver.Matrix // MNA matrix
 	b      []float64      // RHS
-	lu     *solver.LU     // factorisation workspace (cached pivots)
 	wx     []float64      // current Newton iterate
 	xNew   []float64      // linear-solve target
 	zeros  []float64      // all-zero vector; never written
@@ -130,6 +129,30 @@ type Engine struct {
 	recProg                *netlist.StampProgram
 	recDt, recGmin, recSrc float64
 	recAppendA             func(i, j int, v float64)
+
+	// slu holds the per-stamp-mode sparsity-aware factorisation
+	// workspaces (indexed by netlist.StampMode, lazily built from a
+	// pattern probe of the compiled stamp program). Each factorisation
+	// replays the cached elimination structure and falls back to the
+	// dense LU on a pivot-cache mismatch; results are bit-identical
+	// either way.
+	slu [2]*solver.SparseLU
+
+	// Transient snapshot arena: backing storage for Tran.Xs (and the
+	// Times/Xs headers) reused across analyses on the same engine, so
+	// repeated transients reach an allocation-free steady state. The
+	// previous analysis's Tran is overwritten by the next one — see the
+	// TransientSchedule contract.
+	arena     []float64
+	arenaOff  int
+	arenaNeed int
+	timesBuf  []float64
+	xsBuf     [][]float64
+
+	// AC sweep workspaces (lazily built by AC).
+	acA  *solver.CMatrix
+	acB  []complex128
+	aclu *solver.CLU
 
 	// Persistent stamping contexts: liveCtx accumulates straight into
 	// a/b (nonlinear per-iteration stamps), recCtx appends to recA/recB
@@ -160,7 +183,6 @@ func New(ckt *netlist.Circuit, opt Options) *Engine {
 	n := e.nUnknowns
 	e.a = solver.NewMatrix(n)
 	e.b = make([]float64, n)
-	e.lu = solver.NewLU(n)
 	e.wx = make([]float64, n)
 	e.xNew = make([]float64, n)
 	e.zeros = make([]float64, n)
@@ -215,6 +237,37 @@ func New(ckt *netlist.Circuit, opt Options) *Engine {
 	return e
 }
 
+// SetMetrics rebinds the engine's hot-path counter block. Pooled engines
+// are checked out by analyses that each own a Metrics block, so the
+// binding must follow the engine across checkouts; counters never feed
+// back into the numerics, so rebinding cannot change any result.
+func (e *Engine) SetMetrics(m *obs.Metrics) {
+	e.Opt.Metrics = m
+	e.met = m
+}
+
+// RetuneVSource replaces the waveform of the named voltage source on a
+// live engine. This is the one element mutation that is safe after
+// spice.New: a VSource's matrix stamps are its value-independent ±1
+// aux couplings, so the recorded A-side replay stays valid, and the
+// source value reaches only the right-hand side, which every solve
+// re-records — analyses after a retune are bit-identical to those of a
+// fresh engine built with the new waveform. (Retuning any value-bearing
+// element kind — resistors, capacitors — would corrupt the A-side
+// recording; only VSources are permitted.)
+func (e *Engine) RetuneVSource(name string, w netlist.Waveform) error {
+	el := e.Ckt.Element(name)
+	if el == nil {
+		return fmt.Errorf("spice: retune: no element %q", name)
+	}
+	vs, ok := el.(*netlist.VSource)
+	if !ok {
+		return fmt.Errorf("spice: retune: element %q is not a voltage source", name)
+	}
+	vs.W = w
+	return nil
+}
+
 // bind installs the context governing one top-level analysis. A nil ctx
 // (legacy callers, tests) binds the never-cancelled background context.
 func (e *Engine) bind(ctx context.Context) {
@@ -248,6 +301,48 @@ func (e *Engine) prog(mode netlist.StampMode) *netlist.StampProgram {
 	p := netlist.CompileStamps(e.Ckt, mode, e.auxBase)
 	e.progs[mode] = p
 	return p
+}
+
+// sparseLU returns (building on first use) the mode's sparsity-aware
+// factorisation workspace.
+func (e *Engine) sparseLU(mode netlist.StampMode) *solver.SparseLU {
+	if f := e.slu[mode]; f != nil {
+		return f
+	}
+	f := solver.NewSparseLU(e.stampPattern(mode))
+	e.slu[mode] = f
+	return f
+}
+
+// stampPattern records the structural nonzero pattern of one mode's
+// stamp program by replaying it into a probing context that captures
+// matrix cell positions and discards values. Stamp positions depend
+// only on element terminals and aux numbering — never on the iterate,
+// the time or the element values — so the pattern recorded here covers
+// every cell any later assembly can touch. Dt, Gmin and SrcScale are
+// probed nonzero so value-gated stamp branches (the backward-Euler
+// companions, the convergence-aid conductances) contribute their cells;
+// a superset pattern is safe, a miss would not be.
+func (e *Engine) stampPattern(mode netlist.StampMode) *solver.Pattern {
+	n := e.nUnknowns
+	pat := solver.NewPattern(n)
+	zero := func(netlist.NodeID) float64 { return 0 }
+	probe := &netlist.Context{
+		Mode: mode,
+		Dt:   1, Gmin: 1, SrcScale: 1,
+		X: zero, XPrev: zero,
+		A: func(i, j int, v float64) { pat.Mark(i, j) },
+		B: func(int, float64) {},
+		N: n,
+	}
+	for _, it := range e.prog(mode).Items {
+		it.El.Stamp(probe, it.AuxBase)
+	}
+	// assemble adds the node-leak diagonal outside the stamp program.
+	for i := 0; i < e.nNodeVars; i++ {
+		pat.Mark(i, i)
+	}
+	return pat
 }
 
 // Solution is a solved vector of node voltages and branch currents.
@@ -322,8 +417,21 @@ func (e *Engine) beginSolve(mode netlist.StampMode, time, dt, gmin, srcScale flo
 		if !seg.Linear {
 			continue
 		}
-		for _, it := range e.curProg.Items[seg.From:seg.To] {
-			it.El.Stamp(rc, it.AuxBase)
+		if hit {
+			// Only the B side needs re-recording; elements with a
+			// compiled BStamper view skip the A-side work their Stamp
+			// would compute into the discard sink.
+			for _, it := range e.curProg.Items[seg.From:seg.To] {
+				if it.BS != nil {
+					it.BS.StampB(rc, it.AuxBase)
+				} else {
+					it.El.Stamp(rc, it.AuxBase)
+				}
+			}
+		} else {
+			for _, it := range e.curProg.Items[seg.From:seg.To] {
+				it.El.Stamp(rc, it.AuxBase)
+			}
 		}
 		if !hit {
 			e.segEndA = append(e.segEndA, len(e.recA))
@@ -389,6 +497,7 @@ func (e *Engine) newton(dst, x0, xPrev []float64, mode netlist.StampMode,
 	n := e.nUnknowns
 	x := e.wx
 	copy(x, x0)
+	lu := e.sparseLU(mode)
 	e.beginSolve(mode, time, dt, gmin, srcScale, xPrev)
 	for iter := 0; iter < e.Opt.MaxIter; iter++ {
 		if err := e.cancelled(); err != nil {
@@ -396,10 +505,16 @@ func (e *Engine) newton(dst, x0, xPrev []float64, mode netlist.StampMode,
 		}
 		e.met.Add(obs.CtrNewtonIters, 1)
 		e.assemble(x)
-		if err := e.lu.Refactor(e.a); err != nil {
+		path, err := lu.Refactor(e.a)
+		if err != nil {
 			return fmt.Errorf("iter %d: %w", iter, err)
 		}
-		xNew := e.lu.SolveInto(e.xNew, e.b)
+		if path == solver.FactorSparse {
+			e.met.Add(obs.CtrSparseFactorHits, 1)
+		} else {
+			e.met.Add(obs.CtrDenseFallbacks, 1)
+		}
+		xNew := lu.SolveInto(e.xNew, e.b)
 		e.met.Add(obs.CtrLUSolves, 1)
 		// Damp node-voltage updates; leave branch currents free.
 		conv := true
@@ -605,13 +720,18 @@ func (e *Engine) Transient(ctx context.Context, tstop, dt float64) (*Tran, error
 // steps while quiet phases use coarse ones — backward Euler artificially
 // damps unstable (regenerative) modes when h·λ is large, so the latch
 // decision window must be resolved finely.
+//
+// The returned Tran aliases engine-owned snapshot storage that the next
+// transient on this engine reuses: read (or copy out) everything needed
+// from a Tran before starting another analysis on the same engine.
 func (e *Engine) TransientSchedule(ctx context.Context, segs []TranSeg) (*Tran, error) {
 	e.bind(ctx)
 	op, err := e.opAt(0)
 	if err != nil {
 		return nil, fmt.Errorf("transient initial OP: %w", err)
 	}
-	tr := &Tran{e: e}
+	e.resetArena()
+	tr := &Tran{e: e, Times: e.timesBuf[:0], Xs: e.xsBuf[:0]}
 	x := op.X // freshly allocated by OP; owned by tr from here on
 	tr.Times = append(tr.Times, 0)
 	tr.Xs = append(tr.Xs, x)
@@ -622,19 +742,46 @@ func (e *Engine) TransientSchedule(ctx context.Context, segs []TranSeg) (*Tran, 
 			return nil, err
 		}
 	}
+	// Hand the (possibly grown) headers back to the arena so the next
+	// run starts from their full capacity.
+	e.timesBuf, e.xsBuf = tr.Times, tr.Xs
 	return tr, nil
 }
 
+// resetArena rewinds the snapshot arena for a new transient, growing
+// the slab to the previous run's high-water mark so a steady-state
+// engine serves every snapshot from reused storage.
+func (e *Engine) resetArena() {
+	if e.arenaNeed > len(e.arena) {
+		e.arena = make([]float64, e.arenaNeed)
+	}
+	e.arenaOff, e.arenaNeed = 0, 0
+}
+
+// snap carves one snapshot vector out of the arena (falling back to a
+// plain allocation while the slab is still growing towards this run's
+// demand). The contents are written by the caller before any read.
+func (e *Engine) snap() []float64 {
+	n := e.nUnknowns
+	e.arenaNeed += n
+	if e.arenaOff+n > len(e.arena) {
+		return make([]float64, n)
+	}
+	s := e.arena[e.arenaOff : e.arenaOff+n : e.arenaOff+n]
+	e.arenaOff += n
+	return s
+}
+
 // runSegment advances the transient to tstop with nominal step dt,
-// appending snapshots to tr. The only per-step allocation is the stored
-// snapshot itself — the engine workspaces carry everything else.
+// appending snapshots to tr. Snapshots come from the engine's arena, so
+// a steady-state engine performs no per-step allocations at all.
 func (e *Engine) runSegment(tr *Tran, x []float64, t, tstop, dt float64) ([]float64, float64, error) {
 	for t < tstop-1e-18 {
 		step := dt
 		if t+step > tstop {
 			step = tstop - t
 		}
-		nx := make([]float64, e.nUnknowns) // this step's stored snapshot
+		nx := e.snap() // this step's stored snapshot
 		if err := e.tranStep(nx, x, t, step); err != nil {
 			// A cancellation is an abort, not a convergence failure:
 			// skip the refinement ladder entirely.

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerates the full-fidelity pipeline artifacts that EXPERIMENTS.md
+# quotes. They are deterministic at the default seed (1995) and take
+# tens of minutes, so they are gitignored rather than tracked — run this
+# from the repository root whenever you need them:
+#
+#	./scripts/fullrun.sh              # serial (the reference ordering)
+#	WORKERS=4 ./scripts/fullrun.sh    # parallel, byte-identical output
+#
+# Produces:
+#   full_run_output.txt  — the rendered tables and figures
+#   full_run.json        — machine-readable summary, pre-DfT
+#   full_run.json.dft    — machine-readable summary, post-DfT
+set -eu
+
+go run ./cmd/dotest -workers "${WORKERS:-1}" -json full_run.json \
+	| tee full_run_output.txt

@@ -14,6 +14,11 @@
 #   5. go test (+race) — unit + integration tests
 #   6. bench smoke     — every benchmark runs once (-benchtime=1x) so the
 #                        table/figure and kernel benchmarks cannot bit-rot
+#   7. bench guard     — a fresh kernel-benchmark run is compared against
+#                        the checked-in BENCH_kernel.json snapshot; only a
+#                        >2x ns/op regression or an allocs/op increase
+#                        fails, so machine noise passes but a reverted
+#                        kernel optimisation does not
 set -eu
 
 fmt=$(gofmt -l .)
@@ -53,5 +58,6 @@ fi
 go test $short ./...
 go test $short -race ./...
 go test -bench=. -benchtime=1x ./...
+go run ./cmd/benchkernel -benchtime 100ms -check BENCH_kernel.json
 
 echo "tier1: all stages passed"
