@@ -13,8 +13,10 @@
 //
 // With -check the suite runs and is compared against the checked-in
 // snapshot instead of writing one: the command fails only on a more than
-// 2x ns/op regression or on any allocs/op increase, thresholds loose
-// enough that machine noise passes but a lost optimisation does not.
+// 2x ns/op regression or on an allocs/op increase beyond 0.1% (exactly
+// zero for the kernel cases, whose counts are deterministic), thresholds
+// loose enough that machine noise passes but a lost optimisation does
+// not.
 package main
 
 import (
@@ -115,11 +117,15 @@ func main() {
 const maxNsRegression = 2.0
 
 // checkAgainst compares fresh results to the snapshot at path. A case
-// fails on a more than maxNsRegression ns/op slowdown or on any
-// allocs/op increase; allocation counts are deterministic per op, so an
-// increase is a real regression, not noise. Cases on only one side are
-// reported but do not fail (the suite grows over time; the snapshot is
-// regenerated whenever it does).
+// fails on a more than maxNsRegression ns/op slowdown or on an
+// allocs/op increase beyond 0.1% of the snapshot. Kernel-level
+// allocation counts are deterministic per op — for them the slack
+// rounds to zero and any increase is a real regression — while
+// whole-pipeline cases (goodspace compiles a fresh pipeline per op,
+// ~1.4M allocs) jitter a few hundred allocs between runs from scheduler
+// and map-growth amortisation. Cases on only one side are reported but
+// do not fail (the suite grows over time; the snapshot is regenerated
+// whenever it does).
 func checkAgainst(path string, fresh []Result) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -147,7 +153,7 @@ func checkAgainst(path string, fresh []Result) error {
 				r.NsPerOp/b.NsPerOp, maxNsRegression)
 			failed = true
 		}
-		if r.AllocsOp > b.AllocsOp {
+		if r.AllocsOp > b.AllocsOp+b.AllocsOp/1000 {
 			status = fmt.Sprintf("FAIL: allocs/op %d -> %d", b.AllocsOp, r.AllocsOp)
 			failed = true
 		}

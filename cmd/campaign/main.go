@@ -7,9 +7,18 @@
 //
 // Usage:
 //
-//	campaign [-workers N] [-checkpoint file] [-resume] [-json-stats file]
-//	         [-defects N] [-mag N] [-mc N] [-seed S] [-dft pre|post|both]
-//	         [-maxclasses N] [-quick] [-json file] [-trace file.jsonl] [-v]
+//	campaign [-workers N] [-gsworkers N] [-checkpoint file] [-resume]
+//	         [-json-stats file] [-defects N] [-mag N] [-mc N] [-nsigma X]
+//	         [-seed S] [-dft pre|post|both] [-maxclasses N] [-quick]
+//	         [-json file] [-trace file.jsonl] [-v]
+//
+// The good-space Monte Carlo is die-sharded and overlapped with the
+// campaign's sprinkle front half; -gsworkers bounds its worker group
+// (0 inherits the campaign worker count). -mc and -nsigma override the
+// good-space sampling and detection threshold — they flow into the
+// checkpoint fingerprint, so checkpoints taken under different
+// good-space settings refuse to merge — and survive -quick when given
+// explicitly.
 //
 // A cancelled run (SIGINT) flushes its checkpoint before exiting — the
 // cancellation reaches into the Newton/transient loops, so even a unit
@@ -67,6 +76,8 @@ func main() {
 		defects    = flag.Int("defects", 25000, "class-discovery sprinkle size per macro")
 		mag        = flag.Int("mag", 250000, "magnitude sprinkle size (0 = reuse discovery)")
 		mc         = flag.Int("mc", 80, "good-space Monte Carlo dies")
+		nsigma     = flag.Float64("nsigma", 3, "current-detection threshold multiple")
+		gsworkers  = flag.Int("gsworkers", 0, "good-space die workers (0 = inherit -workers; any setting is bit-identical)")
 		seed       = flag.Int64("seed", 1995, "random seed")
 		dftMode    = flag.String("dft", "both", "DfT setting: pre, post or both")
 		maxClasses = flag.Int("maxclasses", 0, "cap analysed classes per macro (0 = all)")
@@ -82,13 +93,24 @@ func main() {
 		Defects:            *defects,
 		MagnitudeDefects:   *mag,
 		MCSamples:          *mc,
-		NSigma:             3,
+		NSigma:             *nsigma,
 		FloorA:             2e-6,
 		MaxClassesPerMacro: *maxClasses,
 	}
 	if *quick {
 		cfg = core.QuickConfig()
 		cfg.Seed = *seed
+		// -quick replaces the whole configuration, but an explicit
+		// good-space override must not be silently dropped: re-apply
+		// the flags the user actually set.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "mc":
+				cfg.MCSamples = *mc
+			case "nsigma":
+				cfg.NSigma = *nsigma
+			}
+		})
 	}
 
 	var dfts []bool
@@ -145,6 +167,7 @@ func main() {
 		// campaign; the JSONL trace (if any) spans both settings, with
 		// each record carrying its dft flag.
 		p := core.NewPipeline(cfg)
+		p.GoodSpaceWorkers = *gsworkers
 		sinks := []obs.Sink{obs.NewAgg()}
 		if jw != nil {
 			sinks = append(sinks, jw)

@@ -5,13 +5,19 @@
 //
 //	dotest [-defects N] [-mag N] [-mc N] [-seed S] [-macro name|all]
 //	       [-dft pre|post|both] [-maxclasses N] [-nsigma X] [-quick]
-//	       [-workers N] [-trace file.jsonl]
+//	       [-workers N] [-gsworkers N] [-trace file.jsonl]
 //
 // With no flags it reproduces every experiment at full fidelity (several
 // minutes of CPU). -workers > 1 runs the per-macro sprinkles and
 // per-class fault simulations on the parallel campaign engine; the
 // output is bit-identical to the serial run. For checkpoint/resume and
 // run metrics use cmd/campaign.
+//
+// The good-space Monte Carlo is itself die-sharded: -gsworkers bounds
+// its worker group (0 picks GOMAXPROCS, or the campaign worker count
+// under -workers > 1; 1 compiles serially). Any setting is
+// bit-identical. -mc and -nsigma override the good-space sampling and
+// detection threshold, and survive -quick when given explicitly.
 //
 // -trace streams one JSON object per finished methodology-stage span
 // (sprinkle, collapse, inject, faultsim, classify, detect, goodspace)
@@ -52,6 +58,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "small, fast configuration")
 		jsonOut    = flag.String("json", "", "also write a machine-readable summary to this file")
 		workers    = flag.Int("workers", 1, "parallel campaign workers (1 = serial, 0 = GOMAXPROCS)")
+		gsworkers  = flag.Int("gsworkers", 0, "good-space die workers (0 = automatic, 1 = serial; any setting is bit-identical)")
 		trace      = flag.String("trace", "", "write a JSONL span trace of every methodology stage to this file")
 	)
 	flag.Parse()
@@ -68,8 +75,20 @@ func main() {
 	if *quick {
 		cfg = core.QuickConfig()
 		cfg.Seed = *seed
+		// -quick replaces the whole configuration, but an explicit
+		// good-space override must not be silently dropped: re-apply
+		// the flags the user actually set.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "mc":
+				cfg.MCSamples = *mc
+			case "nsigma":
+				cfg.NSigma = *nsigma
+			}
+		})
 	}
 	p := core.NewPipeline(cfg)
+	p.GoodSpaceWorkers = *gsworkers
 
 	// Fail fast on a bad -macro before compiling the good space or
 	// sprinkling a single defect.

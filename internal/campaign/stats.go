@@ -102,6 +102,9 @@ func (s *Stats) Print(w io.Writer) {
 		if n := ss.Counters["sprinkle_draws"]; n > 0 {
 			fmt.Fprintf(w, "  %d draws", n)
 		}
+		if n := ss.Counters["goodspace_dies"]; n > 0 {
+			fmt.Fprintf(w, "  %d dies", n)
+		}
 		fmt.Fprintln(w)
 	}
 }

@@ -16,9 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
-	"math/rand"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 
@@ -189,6 +187,13 @@ type Pipeline struct {
 	// faultsim, classify, detect, goodspace) of every analysis run on
 	// this pipeline. nil — the default — is the zero-cost noop.
 	Obs *obs.Observer
+	// GoodSpaceWorkers bounds the die-level concurrency of the
+	// good-space Monte Carlo (see goodspace.go): 0 is automatic —
+	// GOMAXPROCS, or the campaign worker count inside RunParallel — and
+	// 1 compiles strictly serially. Any setting produces bit-identical
+	// output: the per-die RNG streams make dies order-independent and
+	// the merge is index-ordered.
+	GoodSpaceWorkers int
 
 	cmp     *macros.ComparatorMacro
 	ladder  *macros.LadderMacro
@@ -197,11 +202,15 @@ type Pipeline struct {
 	decoder *macros.DecoderMacro
 	all     []macros.Macro
 
-	// mu guards the lazy caches: nominal per-macro responses and
-	// compiled good spaces per DfT flag.
-	mu       sync.Mutex
-	nomParts map[bool]map[string]*signature.Response
-	good     map[bool]*signature.GoodSpace
+	// mu guards the lazy caches — nominal per-macro responses and
+	// compiled good spaces per DfT flag — and the in-flight good-space
+	// compile registry. The compile itself runs outside the lock so
+	// campaign workers can join an in-progress compile (or run other
+	// units) instead of serialising behind it.
+	mu        sync.Mutex
+	nomParts  map[bool]map[string]*signature.Response
+	good      map[bool]*signature.GoodSpace
+	goodCalls map[bool]*goodCall
 
 	// pool reuses fault-free simulation engines across class analyses
 	// (checkout semantics — concurrent campaign workers each hold at
@@ -216,17 +225,18 @@ type Pipeline struct {
 // NewPipeline constructs the five-macro pipeline of the case study.
 func NewPipeline(cfg Config) *Pipeline {
 	p := &Pipeline{
-		Cfg:      cfg,
-		Proc:     process.Default(),
-		cmp:      macros.NewComparator(),
-		ladder:   macros.NewLadder(),
-		biasgen:  macros.NewBiasgen(),
-		clock:    macros.NewClockgen(),
-		decoder:  macros.NewDecoder(),
-		nomParts: map[bool]map[string]*signature.Response{},
-		good:     map[bool]*signature.GoodSpace{},
-		pool:     macros.NewEnginePool(),
-		base:     macros.NewBaselines(),
+		Cfg:       cfg,
+		Proc:      process.Default(),
+		cmp:       macros.NewComparator(),
+		ladder:    macros.NewLadder(),
+		biasgen:   macros.NewBiasgen(),
+		clock:     macros.NewClockgen(),
+		decoder:   macros.NewDecoder(),
+		nomParts:  map[bool]map[string]*signature.Response{},
+		good:      map[bool]*signature.GoodSpace{},
+		goodCalls: map[bool]*goodCall{},
+		pool:      macros.NewEnginePool(),
+		base:      macros.NewBaselines(),
 	}
 	p.all = []macros.Macro{p.cmp, p.ladder, p.biasgen, p.clock, p.decoder}
 	return p
@@ -241,16 +251,41 @@ func (p *Pipeline) MacroNames() []string {
 	return out
 }
 
+// partsEnv carries the resources one fault-free parts simulation runs
+// with: the engine pool and baseline cache to go through (the good-space
+// die workers own private ones — see goodspace.go — while the nominal
+// cache uses the pipeline's shared pair) and how many of the independent
+// macro transients may run concurrently.
+type partsEnv struct {
+	pool *macros.EnginePool
+	base *macros.Baselines
+	// fanout bounds the concurrent macro simulations (<= 1 is the
+	// serial loop).
+	fanout int
+}
+
+// sharedEnv is the pipeline-owned serial environment.
+func (p *Pipeline) sharedEnv() partsEnv {
+	return partsEnv{pool: p.pool, base: p.base}
+}
+
 // partsFor simulates the fault-free response of the chip-composition
-// macros under one variation.
-func (p *Pipeline) partsFor(ctx context.Context, v macros.Variation, dft bool, currentsOnly bool, met *obs.Metrics) (map[string]*signature.Response, error) {
+// macros under one variation. The four macros are independent circuits,
+// so env.fanout > 1 spreads them over a bounded goroutine group; the
+// assembled map is identical either way (each macro's simulation is
+// deterministic and keyed by name).
+func (p *Pipeline) partsFor(ctx context.Context, v macros.Variation, dft bool, currentsOnly bool, met *obs.Metrics, env partsEnv) (map[string]*signature.Response, error) {
 	opt := macros.RespondOpts{
 		Var: v, DfT: dft, CurrentsOnly: currentsOnly,
 		Obs: p.Obs, Metrics: met,
-		Pool: p.pool, Base: p.base,
+		Pool: env.pool, Base: env.base,
+	}
+	ms := []macros.Macro{p.cmp, p.ladder, p.clock, p.decoder}
+	if env.fanout > 1 {
+		return p.partsFanout(ctx, ms, opt, env.fanout)
 	}
 	parts := map[string]*signature.Response{}
-	for _, m := range []macros.Macro{p.cmp, p.ladder, p.clock, p.decoder} {
+	for _, m := range ms {
 		resp, err := m.Respond(ctx, nil, opt)
 		if err != nil {
 			if spice.IsCancelled(err) {
@@ -333,36 +368,65 @@ func (p *Pipeline) Chipify(parts map[string]*signature.Response, faultyMacro str
 	return out
 }
 
+// goodCall is one in-flight good-space compile: done closes once g/err
+// are set, so concurrent callers join the running compile instead of
+// starting a second one (or blocking the pipeline mutex for its whole
+// multi-second duration).
+type goodCall struct {
+	done chan struct{}
+	g    *signature.GoodSpace
+	err  error
+}
+
 // GoodSpace compiles (and caches) the chip-level good-signature space for
 // one DfT setting: a Monte Carlo over dies, each die one shared variation
 // drawn from its own per-die RNG stream — the same dies regardless of
-// DfT setting, sampling order or parallel scheduling.
+// DfT setting, sampling order, worker count or parallel scheduling (see
+// goodspace.go for the die-sharded compile). Concurrent callers share a
+// single compile; cancelling ctx aborts the wait (and, for the compiling
+// caller, the compile itself) in bounded time. A compile that fails is
+// not cached — the next caller retries.
 func (p *Pipeline) GoodSpace(ctx context.Context, dft bool) (*signature.GoodSpace, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if g, ok := p.good[dft]; ok {
-		return g, nil
-	}
-	met := &obs.Metrics{}
-	sp := p.Obs.Start(obs.StageGoodSpace, "", "", dft, met)
-	var samples []*signature.Response
-	for i := 0; i < p.Cfg.MCSamples; i++ {
-		rng := rand.New(rand.NewSource(StreamSeed(p.Cfg.Seed, "goodspace", strconv.Itoa(i))))
-		v := macros.Draw(rng)
-		parts, err := p.partsFor(ctx, v, dft, true, met)
-		if err != nil {
-			sp.End()
-			return nil, err
+	for {
+		p.mu.Lock()
+		if g, ok := p.good[dft]; ok {
+			p.mu.Unlock()
+			return g, nil
 		}
-		samples = append(samples, p.Chipify(parts, "", nil))
+		if c, ok := p.goodCalls[dft]; ok {
+			p.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if c.err == nil {
+				return c.g, nil
+			}
+			if spice.IsCancelled(c.err) && ctx.Err() == nil {
+				// The compiling caller was cancelled; we were not.
+				// Loop: the registry entry is gone, so we compile.
+				continue
+			}
+			return nil, c.err
+		}
+		c := &goodCall{done: make(chan struct{})}
+		p.goodCalls[dft] = c
+		p.mu.Unlock()
+
+		c.g, c.err = p.compileGoodSpace(ctx, dft)
+		p.mu.Lock()
+		if c.err == nil {
+			p.good[dft] = c.g
+		}
+		delete(p.goodCalls, dft)
+		p.mu.Unlock()
+		close(c.done)
+		return c.g, c.err
 	}
-	g := signature.Compile(samples, p.Cfg.NSigma, p.Cfg.FloorA)
-	p.good[dft] = g
-	sp.End()
-	return g, nil
 }
 
 // nominals returns (and caches) the nominal-variation fault-free parts.
@@ -372,7 +436,7 @@ func (p *Pipeline) nominals(ctx context.Context, dft bool) (map[string]*signatur
 	if parts, ok := p.nomParts[dft]; ok {
 		return parts, nil
 	}
-	parts, err := p.partsFor(ctx, macros.Nominal(), dft, true, nil)
+	parts, err := p.partsFor(ctx, macros.Nominal(), dft, true, nil, p.sharedEnv())
 	if err != nil {
 		return nil, err
 	}
@@ -593,19 +657,54 @@ func (p *Pipeline) RunMacro(ctx context.Context, macroName string, dft bool) (*M
 }
 
 // Run executes the whole methodology over every macro for one DfT
-// setting.
+// setting. The good-space Monte Carlo is compiled concurrently with the
+// defect-sprinkle/fault-collapsing front half — the two share no state
+// until detection — and joined before the first class analysis, so the
+// serial prelude no longer gates the pipeline. The result is
+// bit-identical to the historical fully-sequential traversal: every
+// Monte Carlo stage draws from its own RNG stream and the merge order
+// is canonical.
 func (p *Pipeline) Run(ctx context.Context, dft bool) (*Run, error) {
-	good, err := p.GoodSpace(ctx, dft)
-	if err != nil {
-		return nil, err
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	out := &Run{Cfg: p.Cfg, DfT: dft, Good: good}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	goodDone := make(chan error, 1)
+	go func() {
+		_, err := p.GoodSpace(gctx, dft)
+		goodDone <- err
+	}()
+	out := &Run{Cfg: p.Cfg, DfT: dft}
 	for _, m := range p.all {
-		mr, err := p.RunMacro(ctx, m.Name(), dft)
+		mr, err := p.DiscoverClasses(ctx, m.Name(), dft)
 		if err != nil {
+			cancel()
+			<-goodDone
 			return nil, err
 		}
 		out.Macros = append(out.Macros, mr)
+	}
+	if err := <-goodDone; err != nil {
+		return nil, err
+	}
+	good, err := p.GoodSpace(ctx, dft) // cache hit: compiled above
+	if err != nil {
+		return nil, err
+	}
+	out.Good = good
+	for _, mr := range out.Macros {
+		for _, t := range p.analysisTargets(mr) {
+			ca, err := p.AnalyzeClass(ctx, mr.Name, mr.Classes[t.Index], t.NonCat, dft)
+			if err != nil {
+				return nil, err
+			}
+			if t.NonCat {
+				mr.NonCat = append(mr.NonCat, *ca)
+			} else {
+				mr.Cat = append(mr.Cat, *ca)
+			}
+		}
 	}
 	return out, nil
 }

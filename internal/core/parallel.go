@@ -12,10 +12,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/spice"
 )
 
 // Unit-key prefixes of the methodology campaign.
@@ -131,12 +133,40 @@ func (p *Pipeline) macroUnit(macroName string, dft bool) campaign.Unit {
 // carries the run metrics; it is non-nil whenever a campaign was
 // started, including on cancellation.
 func (p *Pipeline) RunParallel(ctx context.Context, dft bool, opts campaign.Options) (*Run, *campaign.Outcome, error) {
-	// The good space and nominal responses are shared by every analysis
-	// unit: compile them up front, once, on the caller's goroutine.
-	if _, err := p.GoodSpace(ctx, dft); err != nil {
-		return nil, nil, err
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	// The good-space Monte Carlo inherits the campaign's worker count
+	// when no explicit die-level bound was set: the campaign workers sit
+	// idle in the sprinkle barrier anyway while the good space compiles,
+	// so the same parallelism budget applies.
+	if p.GoodSpaceWorkers == 0 {
+		if opts.Workers > 0 {
+			p.GoodSpaceWorkers = opts.Workers
+		} else {
+			p.GoodSpaceWorkers = runtime.GOMAXPROCS(0)
+		}
+	}
+	// Overlap the good-space compile with the campaign's defect-sprinkle
+	// front half: the class-analysis units join the in-flight compile via
+	// GoodSpace's single-flight registry the moment they need it. A real
+	// compile failure (not a cancellation) dooms every class unit, so it
+	// cancels the campaign instead of letting the units fail one by one.
+	cctx, cancelCampaign := context.WithCancel(ctx)
+	defer cancelCampaign()
+	goodDone := make(chan error, 1)
+	go func() {
+		_, err := p.GoodSpace(cctx, dft)
+		if err != nil && cctx.Err() == nil && !spice.IsCancelled(err) {
+			cancelCampaign()
+		}
+		goodDone <- err
+	}()
+	// The nominal responses are shared by every analysis unit: compile
+	// them up front, once, on the caller's goroutine.
 	if _, err := p.nominals(ctx, dft); err != nil {
+		cancelCampaign()
+		<-goodDone
 		return nil, nil, err
 	}
 	if opts.Fingerprint == "" {
@@ -149,14 +179,25 @@ func (p *Pipeline) RunParallel(ctx context.Context, dft bool, opts campaign.Opti
 	for _, name := range p.MacroNames() {
 		roots = append(roots, p.macroUnit(name, dft))
 	}
-	out, err := campaign.Execute(ctx, opts, roots)
+	out, err := campaign.Execute(cctx, opts, roots)
+	if err != nil {
+		cancelCampaign() // release the good-space goroutine before joining it
+	}
+	gerr := <-goodDone
 	if out != nil {
 		// Fold the observability aggregate (when a snapshotting sink is
 		// attached) into the run metrics — including on cancellation, so
-		// an interrupted run still reports where its time went.
+		// an interrupted run still reports where its time went. The join
+		// above guarantees the goodspace spans are in the aggregate.
 		out.Stats.Stages = p.Obs.Stages()
 	}
 	if err != nil {
+		// When the campaign died because the good-space compile failed,
+		// the compile error is the root cause; surface it instead of the
+		// derived campaign cancellation.
+		if gerr != nil && ctx.Err() == nil && !spice.IsCancelled(gerr) {
+			return nil, out, gerr
+		}
 		return nil, out, err
 	}
 	// A cancellation racing the engine's final checkpoint flush must not
@@ -164,6 +205,9 @@ func (p *Pipeline) RunParallel(ctx context.Context, dft bool, opts campaign.Opti
 	// the context error, keeping the (resumable) Outcome.
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, out, cerr
+	}
+	if gerr != nil {
+		return nil, out, gerr
 	}
 	run, err := p.mergeRun(dft, out)
 	return run, out, err

@@ -13,6 +13,14 @@ import (
 	"repro/internal/campaign"
 )
 
+// overrideGoodSpace mirrors what the CLIs' -mc/-nsigma flags do to a
+// configuration.
+func overrideGoodSpace(cfg Config, mc int, nsigma float64) Config {
+	cfg.MCSamples = mc
+	cfg.NSigma = nsigma
+	return cfg
+}
+
 // TestFingerprintGolden pins the canonical fingerprint encoding. If this
 // test fails you have changed the checkpoint compatibility surface:
 // either restore the encoding or bump fingerprintVersion deliberately
@@ -35,6 +43,13 @@ func TestFingerprintGolden(t *testing.T) {
 		{
 			"quick", QuickConfig(), false,
 			`core-campaign-v2|{"seed":1995,"defects":4000,"magnitude_defects":0,"mc_samples":12,"n_sigma":3,"floor_a":0.000002,"skip_non_cat":false,"max_classes_per_macro":25,"dft":false}`,
+		},
+		{
+			// The CLI -mc/-nsigma overrides flow through these two fields;
+			// checkpoints taken under different good-space settings must
+			// carry distinct fingerprints.
+			"quick-mc-nsigma-override", overrideGoodSpace(QuickConfig(), 24, 4), false,
+			`core-campaign-v2|{"seed":1995,"defects":4000,"magnitude_defects":0,"mc_samples":24,"n_sigma":4,"floor_a":0.000002,"skip_non_cat":false,"max_classes_per_macro":25,"dft":false}`,
 		},
 	}
 	for _, tc := range cases {

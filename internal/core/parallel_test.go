@@ -146,4 +146,19 @@ func TestRunParallelFingerprintGuard(t *testing.T) {
 		campaign.Options{Workers: 2, Checkpoint: ckpt, Resume: true}); err == nil {
 		t.Fatal("resume across configs must fail the fingerprint check")
 	}
+	// The good-space settings shape every detection, so a checkpoint
+	// taken under different -mc/-nsigma overrides must refuse to merge
+	// exactly like a seed change.
+	mcChanged := cfg
+	mcChanged.MCSamples++
+	if _, _, err := core.RunParallel(context.Background(), mcChanged, false,
+		campaign.Options{Workers: 2, Checkpoint: ckpt, Resume: true}); err == nil {
+		t.Fatal("resume across MCSamples settings must fail the fingerprint check")
+	}
+	nsChanged := cfg
+	nsChanged.NSigma++
+	if _, _, err := core.RunParallel(context.Background(), nsChanged, false,
+		campaign.Options{Workers: 2, Checkpoint: ckpt, Resume: true}); err == nil {
+		t.Fatal("resume across NSigma settings must fail the fingerprint check")
+	}
 }

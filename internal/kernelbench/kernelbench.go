@@ -11,6 +11,8 @@
 //     the engine reused across iterations (the campaign's steady state)
 //   - analyzeclass: one full fault-class analysis unit of the pipeline,
 //     the quantum of work the parallel campaign schedules
+//   - goodspace: the die-sharded good-signature-space Monte Carlo
+//     compile, the pipeline's front-end prelude
 package kernelbench
 
 import (
@@ -172,6 +174,24 @@ func Cases() []Case {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := m.Respond(context.Background(), nil, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "goodspace/quick-12-dies", Bench: func(b *testing.B) {
+			// A fresh pipeline per iteration: GoodSpace caches its result,
+			// so reuse would measure a map lookup. The worker count is left
+			// automatic — the case tracks the sharded compile as shipped,
+			// so on multi-core hardware its ns/op shows the die-sharding
+			// win (on one core it matches the serial loop).
+			cfg := core.QuickConfig() // 12 Monte Carlo dies
+			if _, err := core.NewPipeline(cfg).GoodSpace(context.Background(), false); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewPipeline(cfg).GoodSpace(context.Background(), false); err != nil {
 					b.Fatal(err)
 				}
 			}

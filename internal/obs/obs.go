@@ -20,7 +20,10 @@
 // partition it.
 package obs
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Stage names of the methodology pipeline, as emitted in spans.
 const (
@@ -41,8 +44,14 @@ const (
 	// StageDetect is chip-level propagation plus detection against the
 	// good-signature space.
 	StageDetect = "detect"
-	// StageGoodSpace is the good-signature-space Monte Carlo compile.
+	// StageGoodSpace is the good-signature-space Monte Carlo compile
+	// (the whole stage: one span per compiled DfT setting).
 	StageGoodSpace = "goodspace"
+	// StageGoodSpaceDie is one die of the good-space Monte Carlo (class
+	// labels the die index). The stage's summed wall time is the CPU
+	// cost of the Monte Carlo; the ratio against the enclosing
+	// StageGoodSpace span's wall time is the die-sharding speedup.
+	StageGoodSpaceDie = "goodspace_die"
 )
 
 // Counter indexes one hot-path counter inside a Metrics block.
@@ -72,6 +81,8 @@ const (
 	// CtrBaselineCacheHits counts fault-free baseline responses served
 	// from the memoised cache instead of re-simulating the good machine.
 	CtrBaselineCacheHits
+	// CtrGoodspaceDies counts completed good-space Monte Carlo dies.
+	CtrGoodspaceDies
 
 	// NumCounters is the size of a Metrics block.
 	NumCounters
@@ -87,24 +98,27 @@ var counterNames = [NumCounters]string{
 	"sparse_factor_hits",
 	"dense_fallbacks",
 	"baseline_cache_hits",
+	"goodspace_dies",
 }
 
 // Name returns the canonical (JSON) name of the counter.
 func (c Counter) Name() string { return counterNames[c] }
 
-// Metrics is a block of hot-path counters owned by a single goroutine
-// (one fault-class analysis, one sprinkle pass). It is deliberately not
-// synchronised: the campaign layers allocate one block per unit of work.
-// A nil *Metrics discards every Add, so kernel code counts
-// unconditionally.
+// Metrics is a block of hot-path counters. The counters are atomic:
+// one block may be shared by concurrent writers (the die workers of the
+// good-space Monte Carlo all fold into their stage's block), so Add and
+// Get are lock-free atomic operations — a handful of nanoseconds on an
+// uncontended counter, which the Newton loop tolerates. A nil *Metrics
+// discards every Add, so kernel code counts unconditionally.
 type Metrics struct {
 	n [NumCounters]int64
 }
 
-// Add accumulates n into counter c. Safe (and free) on a nil receiver.
+// Add accumulates n into counter c. Safe (and free) on a nil receiver;
+// safe from concurrent goroutines on a shared block.
 func (m *Metrics) Add(c Counter, n int64) {
 	if m != nil {
-		m.n[c] += n
+		atomic.AddInt64(&m.n[c], n)
 	}
 }
 
@@ -113,7 +127,35 @@ func (m *Metrics) Get(c Counter) int64 {
 	if m == nil {
 		return 0
 	}
-	return m.n[c]
+	return atomic.LoadInt64(&m.n[c])
+}
+
+// Merge folds every counter of src into m (both sides nil-safe). The
+// good-space workers keep a private block per die — so per-die span
+// deltas attribute only that die's work — and merge it into the
+// stage-level block when the die completes.
+func (m *Metrics) Merge(src *Metrics) {
+	if m == nil || src == nil {
+		return
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		if n := src.Get(c); n != 0 {
+			m.Add(c, n)
+		}
+	}
+}
+
+// snapshot reads every counter atomically (element-wise: the block is
+// not frozen, each counter is individually consistent).
+func (m *Metrics) snapshot() [NumCounters]int64 {
+	var out [NumCounters]int64
+	if m == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = atomic.LoadInt64(&m.n[i])
+	}
+	return out
 }
 
 // Record is one finished span as delivered to sinks. Sinks must not
@@ -163,7 +205,7 @@ func (o *Observer) Start(stage, macro, class string, dft bool, met *Metrics) Spa
 	}
 	sp := Span{o: o, stage: stage, macro: macro, class: class, dft: dft, met: met, start: time.Now()}
 	if met != nil {
-		sp.snap = met.n
+		sp.snap = met.snapshot()
 	}
 	return sp
 }
@@ -207,8 +249,9 @@ func (sp Span) End() {
 		Dur:   time.Since(sp.start),
 	}
 	if sp.met != nil {
+		now := sp.met.snapshot()
 		for i := range r.Counters {
-			r.Counters[i] = sp.met.n[i] - sp.snap[i]
+			r.Counters[i] = now[i] - sp.snap[i]
 		}
 	}
 	for _, s := range sp.o.sinks {

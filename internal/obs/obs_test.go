@@ -106,6 +106,42 @@ func TestJSONLWriter(t *testing.T) {
 	}
 }
 
+// TestMetricsConcurrent hammers one shared Metrics block from many
+// goroutines — the good-space die workers all fold into their stage's
+// block — and checks that no increment is lost. Under -race this is the
+// synchronisation proof for the atomic counters.
+func TestMetricsConcurrent(t *testing.T) {
+	met := &Metrics{}
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			local := &Metrics{}
+			for i := 0; i < perWorker; i++ {
+				c := Counter((id + i) % int(NumCounters))
+				met.Add(c, 1)
+				local.Add(c, 1)
+				_ = met.Get(c) // concurrent reads must be race-free too
+			}
+			met.Merge(local) // doubles every contribution
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for c := Counter(0); c < NumCounters; c++ {
+		total += met.Get(c)
+	}
+	if want := int64(2 * workers * perWorker); total != want {
+		t.Fatalf("lost increments: total = %d, want %d", total, want)
+	}
+	// Nil-safety of Merge in both directions.
+	var nilMet *Metrics
+	nilMet.Merge(met)
+	met.Merge(nilMet)
+}
+
 // TestAggConcurrent exercises the aggregator from parallel emitters
 // (the campaign worker situation) — run under -race this is the
 // synchronisation test.

@@ -11,14 +11,18 @@
 #   3. go build / vet  — compile + static checks, whole tree
 #   4. staticcheck     — when the binary is on PATH (skipped with a notice
 #                        otherwise; the container does not ship it)
-#   5. go test (+race) — unit + integration tests
+#   5. go test (+race) — unit + integration tests, plus a -shuffle=on
+#                        pass so test-order dependencies (easy to
+#                        introduce around shared pipelines and caches)
+#                        cannot hide behind the default ordering
 #   6. bench smoke     — every benchmark runs once (-benchtime=1x) so the
 #                        table/figure and kernel benchmarks cannot bit-rot
 #   7. bench guard     — a fresh kernel-benchmark run is compared against
 #                        the checked-in BENCH_kernel.json snapshot; only a
 #                        >2x ns/op regression or an allocs/op increase
-#                        fails, so machine noise passes but a reverted
-#                        kernel optimisation does not
+#                        beyond 0.1% (exactly zero for the deterministic
+#                        kernel cases) fails, so machine noise passes but
+#                        a reverted kernel optimisation does not
 set -eu
 
 fmt=$(gofmt -l .)
@@ -56,6 +60,7 @@ else
 	echo "tier1: staticcheck not found, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
 fi
 go test $short ./...
+go test $short -shuffle=on ./...
 go test $short -race ./...
 go test -bench=. -benchtime=1x ./...
 go run ./cmd/benchkernel -benchtime 100ms -check BENCH_kernel.json
