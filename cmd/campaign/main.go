@@ -20,10 +20,10 @@
 // good-space settings refuse to merge — and survive -quick when given
 // explicitly.
 //
-// A cancelled run (SIGINT) flushes its checkpoint before exiting — the
-// cancellation reaches into the Newton/transient loops, so even a unit
-// stuck in a hard analog solve aborts in bounded time — and exits with
-// status 130, distinct from unit failures:
+// A cancelled run (SIGINT or SIGTERM) flushes its checkpoint before
+// exiting — the cancellation reaches into the Newton/transient loops,
+// so even a unit stuck in a hard analog solve aborts in bounded time —
+// and exits with status 130, distinct from unit failures:
 //
 //	campaign -checkpoint run.ckpt            # interrupt it mid-run …
 //	campaign -checkpoint run.ckpt -resume    # … and pick up where it left off
@@ -41,6 +41,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/campaign"
@@ -49,14 +50,16 @@ import (
 	"repro/internal/report"
 )
 
-// interruptContext returns a context cancelled by the first SIGINT. The
-// first Ctrl-C is consumed by signal.NotifyContext to begin a graceful
-// shutdown (workers drain, the checkpoint flushes inside campaign.Execute
-// before it returns); the moment cancellation starts, the default signal
-// handler is restored so a second Ctrl-C can force-quit a wedged run
-// instead of being swallowed.
+// interruptContext returns a context cancelled by the first SIGINT or
+// SIGTERM — a service manager's stop signal gets the same graceful
+// shutdown as a Ctrl-C. The first signal is consumed by
+// signal.NotifyContext to begin a graceful shutdown (workers drain, the
+// checkpoint flushes inside campaign.Execute before it returns); the
+// moment cancellation starts, the default signal handler is restored so
+// a second signal can force-quit a wedged run instead of being
+// swallowed.
 func interruptContext(parent context.Context) (context.Context, context.CancelFunc) {
-	ctx, stop := signal.NotifyContext(parent, os.Interrupt)
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-ctx.Done()
 		stop()

@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -268,5 +269,49 @@ func TestFirstInterruptShutsDownGracefully(t *testing.T) {
 	}
 	if err := cmd.Wait(); err != nil {
 		t.Fatalf("graceful shutdown exited with error: %v", err)
+	}
+}
+
+// TestSigtermShutsDownGracefully: a service manager's SIGTERM gets the
+// same graceful shutdown as a Ctrl-C — the shutdown work (checkpoint
+// flush) completes and the process exits cleanly instead of dying on
+// the default SIGTERM disposition.
+func TestSigtermShutsDownGracefully(t *testing.T) {
+	cmd, r := startInterruptChild(t)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	line, err := r.ReadString('\n')
+	if err != nil || strings.TrimSpace(line) != "graceful" {
+		t.Fatalf("child did not finish its shutdown work after SIGTERM: %q, %v", line, err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("graceful SIGTERM shutdown exited with error: %v", err)
+	}
+}
+
+// TestSecondSignalAfterSigtermForceQuits: like the SIGINT pair, the
+// default handler is restored once the SIGTERM-initiated shutdown
+// starts, so a follow-up signal force-quits a wedged drain.
+func TestSecondSignalAfterSigtermForceQuits(t *testing.T) {
+	cmd, _ := startInterruptChild(t)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("child exited cleanly; the second SIGTERM was swallowed")
+		}
+	case <-time.After(1500 * time.Millisecond):
+		cmd.Process.Kill()
+		<-done
+		t.Fatal("child survived a second SIGTERM (still in its shutdown sleep)")
 	}
 }

@@ -1,0 +1,297 @@
+// Command campaignctl is the client of the campaignd job server.
+//
+// Usage:
+//
+//	campaignctl [-server URL] submit [-quick] [-dft pre|post|both]
+//	            [-seed S] [-defects N] [-mag N] [-mc N] [-nsigma X]
+//	            [-maxclasses N] [-skipnoncat] [-workers N]
+//	            [-spec JSON] [-wait]
+//	campaignctl [-server URL] status  <job-id>
+//	campaignctl [-server URL] watch   <job-id>      stream events (JSONL) until terminal
+//	campaignctl [-server URL] result  <job-id> [-dft pre|post] [-o file]
+//	campaignctl [-server URL] cancel  <job-id>
+//	campaignctl [-server URL] jobs
+//	campaignctl [-server URL] checkpoints
+//
+// submit prints the job id on stdout (and with -wait streams the job's
+// events until it finishes, exiting non-zero if the job failed).
+// result writes the raw result bytes — exactly what `dotest -json`
+// produces for the same parameters — to stdout or -o.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/jobserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaignctl: ")
+
+	server := flag.String("server", "http://127.0.0.1:8120", "campaignd base URL")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: campaignctl [-server URL] submit|status|watch|result|cancel|jobs|checkpoints ...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*server, "/")}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = c.submit(args)
+	case "status":
+		err = c.status(args)
+	case "watch":
+		err = c.watch(args)
+	case "result":
+		err = c.result(args)
+	case "cancel":
+		err = c.cancel(args)
+	case "jobs":
+		err = c.jobs()
+	case "checkpoints":
+		err = c.checkpoints()
+	default:
+		log.Printf("unknown command %q", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+type client struct {
+	base string
+}
+
+// apiError decodes a non-2xx response into an error.
+func apiError(resp *http.Response) error {
+	data, _ := io.ReadAll(resp.Body)
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+}
+
+// get fetches path, returning the body for 2xx responses.
+func (c *client) get(path string) ([]byte, error) {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func jobArg(args []string) (string, []string, error) {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return "", nil, fmt.Errorf("missing job id argument")
+	}
+	return args[0], args[1:], nil
+}
+
+func (c *client) submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		quick      = fs.Bool("quick", false, "small, fast configuration")
+		dft        = fs.String("dft", "", "DfT setting: pre, post or both (default both)")
+		seed       = fs.Int64("seed", 0, "random seed (0 = server default)")
+		defects    = fs.Int("defects", 0, "class-discovery sprinkle size per macro")
+		mag        = fs.Int("mag", 0, "magnitude sprinkle size")
+		mc         = fs.Int("mc", 0, "good-space Monte Carlo dies")
+		nsigma     = fs.Float64("nsigma", 0, "current-detection threshold multiple")
+		maxClasses = fs.Int("maxclasses", 0, "cap analysed classes per macro")
+		skipNonCat = fs.Bool("skipnoncat", false, "skip the non-catastrophic analysis")
+		workers    = fs.Int("workers", 0, "per-job worker hint")
+		specJSON   = fs.String("spec", "", "submit this raw JSON spec instead of building one from flags")
+		wait       = fs.Bool("wait", false, "stream events until the job is terminal")
+	)
+	fs.Parse(args)
+
+	spec := core.JobSpec{
+		Quick: *quick, Seed: *seed, Defects: *defects, MagnitudeDefects: *mag,
+		MCSamples: *mc, NSigma: *nsigma, MaxClassesPerMacro: *maxClasses,
+		SkipNonCat: *skipNonCat, DfT: *dft, Workers: *workers,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	if *specJSON != "" {
+		body = []byte(*specJSON)
+	}
+	resp, err := http.Post(c.base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	var out jobserver.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	if out.Deduped {
+		log.Printf("deduped onto existing job (state %s)", out.State)
+	}
+	fmt.Println(out.ID)
+	if *wait {
+		return c.watch([]string{out.ID})
+	}
+	return nil
+}
+
+func (c *client) status(args []string) error {
+	id, _, err := jobArg(args)
+	if err != nil {
+		return err
+	}
+	data, err := c.get("/api/v1/jobs/" + id)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	return nil
+}
+
+// watch tails the job's JSONL event stream to stderr (progress) until
+// the terminal state, failing when the job did not finish cleanly.
+func (c *client) watch(args []string) error {
+	id, _, err := jobArg(args)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Get(c.base + "/api/v1/jobs/" + id + "/events?format=jsonl&spans=0")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	final := jobserver.Event{}
+	for sc.Scan() {
+		var ev jobserver.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad event %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "progress":
+			log.Printf("%s %s: %d/%d units (%d restored, %d failed)",
+				id, ev.DfT, ev.Progress.Completed+ev.Progress.Restored,
+				ev.Progress.Total, ev.Progress.Restored, ev.Progress.Failed)
+		case "result":
+			log.Printf("%s %s: result ready", id, ev.DfT)
+		case "state":
+			final = ev
+			log.Printf("%s: %s", id, ev.State)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	switch final.State {
+	case jobserver.StateDone:
+		return nil
+	case "":
+		return fmt.Errorf("event stream ended without a terminal state")
+	default:
+		return fmt.Errorf("job %s: %s (%s)", id, final.State, final.Error)
+	}
+}
+
+func (c *client) result(args []string) error {
+	id, rest, err := jobArg(args)
+	if err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	dft := fs.String("dft", "", "DfT setting of the result (pre or post)")
+	outFile := fs.String("o", "", "write the result bytes to this file instead of stdout")
+	wait := fs.Bool("wait", false, "block until the job is terminal")
+	fs.Parse(rest)
+
+	path := "/api/v1/jobs/" + id + "/result"
+	sep := "?"
+	if *dft != "" {
+		path += sep + "dft=" + *dft
+		sep = "&"
+	}
+	if *wait {
+		path += sep + "wait=1"
+	}
+	data, err := c.get(path)
+	if err != nil {
+		return err
+	}
+	if *outFile != "" {
+		return os.WriteFile(*outFile, data, 0o644)
+	}
+	os.Stdout.Write(data)
+	return nil
+}
+
+func (c *client) cancel(args []string) error {
+	id, _, err := jobArg(args)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/api/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	io.Copy(os.Stdout, resp.Body)
+	return nil
+}
+
+func (c *client) jobs() error {
+	data, err := c.get("/api/v1/jobs")
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	return nil
+}
+
+func (c *client) checkpoints() error {
+	data, err := c.get("/api/v1/checkpoints")
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	return nil
+}

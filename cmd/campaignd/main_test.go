@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The daemon tests re-execute this test binary as a campaignd child
+// (run() is main minus os.Exit), deliver real signals, and assert the
+// service contract: a SIGTERM drains live jobs, flushes checkpoints and
+// exits 130 — the same graceful-shutdown status the CLIs use.
+func TestMain(m *testing.M) {
+	if os.Getenv("CAMPAIGND_TEST_CHILD") == "1" {
+		// run() parses os.Args; the parent passed the daemon flags.
+		os.Exit(run())
+	}
+	os.Exit(m.Run())
+}
+
+// startDaemon launches a campaignd child on a free port and waits for
+// its resolved address.
+func startDaemon(t *testing.T, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	args := append([]string{"-addr", "127.0.0.1:0", "-addrfile", addrFile}, extra...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "CAMPAIGND_TEST_CHILD=1")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			return cmd, "http://" + strings.TrimSpace(string(data))
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("daemon never wrote its address file")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// exitCode waits for the child and returns its exit status.
+func exitCode(t *testing.T, cmd *exec.Cmd, timeout time.Duration) int {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0
+		}
+		var ee *exec.ExitError
+		if ok := asExitError(err, &ee); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("wait: %v", err)
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		<-done
+		t.Fatal("daemon did not exit in time")
+	}
+	panic("unreachable")
+}
+
+func asExitError(err error, target **exec.ExitError) bool {
+	ee, ok := err.(*exec.ExitError)
+	if ok {
+		*target = ee
+	}
+	return ok
+}
+
+// TestSigtermDrainsAndExits130: the daemon serves, accepts a job,
+// and on SIGTERM cancels it, flushes its checkpoint to the store and
+// exits with status 130.
+func TestSigtermDrainsAndExits130(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a real daemon and campaign")
+	}
+	store := t.TempDir()
+	cmd, base := startDaemon(t, "-store", store, "-budget", "2")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// A small real job, interrupted mid-run by the shutdown.
+	spec := []byte(`{"quick":true,"defects":400,"mc_samples":3,"max_classes_per_macro":1,"skip_non_cat":true,"dft":"pre"}`)
+	resp, err = http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit: %v (%+v)", err, sub)
+	}
+	resp.Body.Close()
+
+	// Let the run start some real work, then stop the service.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/api/v1/jobs/%s", base, sub.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Progress map[string]struct{ Completed int } `json:"progress"`
+		}
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if st.Progress["pre"].Completed >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job made no progress")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := exitCode(t, cmd, 90*time.Second); code != 130 {
+		t.Fatalf("exit code %d, want 130", code)
+	}
+
+	// The interrupted job left a resumable checkpoint in the store.
+	entries, err := os.ReadDir(store)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no checkpoint in the store after drain: %v, %d entries", err, len(entries))
+	}
+}

@@ -22,9 +22,9 @@
 // -trace streams one JSON object per finished methodology-stage span
 // (sprinkle, collapse, inject, faultsim, classify, detect, goodspace)
 // to the given file; see the README's "Tracing" section for the schema.
-// A SIGINT cancels the run: the cancellation reaches into the Newton
-// and transient loops, so even a long analog solve aborts in bounded
-// time.
+// A SIGINT or SIGTERM cancels the run: the cancellation reaches into
+// the Newton and transient loops, so even a long analog solve aborts in
+// bounded time.
 package main
 
 import (
@@ -34,6 +34,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/campaign"
@@ -121,10 +122,10 @@ func main() {
 		log.Fatalf("bad -dft %q", *dftMode)
 	}
 
-	// A SIGINT cancels the context; the cancellation propagates into the
-	// analog kernel's Newton/transient loops, so the run aborts in
-	// bounded time even mid-solve.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// A SIGINT or SIGTERM cancels the context; the cancellation
+	// propagates into the analog kernel's Newton/transient loops, so the
+	// run aborts in bounded time even mid-solve.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	start := time.Now()

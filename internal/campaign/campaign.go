@@ -52,8 +52,19 @@ type Options struct {
 	// (default 1 retry).
 	MaxRetries int
 	// Checkpoint is the path of the JSON checkpoint file ("" disables
-	// checkpointing).
+	// checkpointing unless Store is set).
 	Checkpoint string
+	// Store overrides the checkpoint persistence backend. nil selects
+	// the single-file FileStore at the Checkpoint path (and disables
+	// checkpointing when that is empty too); the job server passes a
+	// shared content-addressed DirStore here so every job's checkpoint
+	// survives daemon restarts under its own fingerprint.
+	Store Store
+	// Gate, when non-nil, admits each live unit execution through an
+	// external slot budget. Several concurrent campaigns sharing one
+	// FairGate interleave unit-granular work fairly instead of
+	// oversubscribing the machine.
+	Gate Gate
 	// Resume loads the checkpoint before executing and skips every unit
 	// whose result it already holds.
 	Resume bool
@@ -72,6 +83,44 @@ type Options struct {
 	// OnUnitDone, if non-nil, observes each unit completion (restored
 	// reports checkpoint hits). Called from worker goroutines.
 	OnUnitDone func(key string, restored bool)
+	// OnProgress, if non-nil, observes the campaign's live unit counters
+	// after every unit resolution (successes and exhausted failures; not
+	// retries). Called from worker goroutines; the job server turns
+	// these into streamed progress events.
+	OnProgress func(p Progress)
+}
+
+// Progress is a live snapshot of the campaign's unit counters. Total
+// grows as completed units fan out new work, so Completed/Total is a
+// lower bound on the fraction done, not an exact one.
+type Progress struct {
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Restored  int `json:"restored"`
+	Failed    int `json:"failed"`
+}
+
+// store resolves the checkpoint backend: the explicit Store, the
+// FileStore at the Checkpoint path, or nil (checkpointing disabled).
+func (o Options) store() Store {
+	if o.Store != nil {
+		return o.Store
+	}
+	if o.Checkpoint != "" {
+		return FileStore{Path: o.Checkpoint}
+	}
+	return nil
+}
+
+// storeName names the checkpoint backend in errors.
+func (o Options) storeName() string {
+	if o.Store == nil && o.Checkpoint != "" {
+		return o.Checkpoint
+	}
+	if s, ok := o.store().(fmt.Stringer); ok {
+		return s.String()
+	}
+	return fmt.Sprintf("%T", o.store())
 }
 
 func (o Options) workers() int {
@@ -125,8 +174,8 @@ func Execute(ctx context.Context, opts Options, roots []Unit) (*Outcome, error) 
 	e.stats.Workers = opts.workers()
 	e.stats.Groups = map[string]*GroupStats{}
 
-	if opts.Resume && opts.Checkpoint != "" {
-		ck, err := loadCheckpoint(opts.Checkpoint)
+	if st := opts.store(); opts.Resume && st != nil {
+		ck, err := st.Load(opts.Fingerprint)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +183,7 @@ func Execute(ctx context.Context, opts Options, roots []Unit) (*Outcome, error) 
 			if ck.Fingerprint != opts.Fingerprint {
 				return nil, fmt.Errorf(
 					"campaign: checkpoint %s was produced by a different configuration (fingerprint %q, want %q)",
-					opts.Checkpoint, ck.Fingerprint, opts.Fingerprint)
+					opts.storeName(), ck.Fingerprint, opts.Fingerprint)
 			}
 			e.restored = ck.Results
 		}
@@ -188,7 +237,7 @@ func Execute(ctx context.Context, opts Options, roots []Unit) (*Outcome, error) 
 	e.mu.Unlock()
 
 	// Final flush so interrupted campaigns can resume.
-	if opts.Checkpoint != "" {
+	if opts.store() != nil {
 		if err := e.saveCheckpoint(); err != nil && ckErr == nil {
 			ckErr = err
 		}

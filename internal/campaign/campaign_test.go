@@ -302,7 +302,7 @@ func TestCancelThenResume(t *testing.T) {
 func TestUndecodablePayloadReruns(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
 	// Hand-craft a checkpoint with one good and one corrupt payload.
-	ck := checkpointFile{
+	ck := Checkpoint{
 		Version:     checkpointVersion,
 		Fingerprint: "test-v1",
 		Results: map[string]json.RawMessage{

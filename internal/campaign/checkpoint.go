@@ -1,58 +1,17 @@
 package campaign
 
-import (
-	"encoding/json"
-	"errors"
-	"fmt"
-	"io/fs"
-	"os"
-	"path/filepath"
-)
+import "encoding/json"
 
-// checkpointVersion guards the on-disk format.
-const checkpointVersion = 1
-
-// checkpointFile is the JSON checkpoint: the configuration fingerprint
-// plus every completed unit's marshalled result, keyed by unit key. A
-// resumed campaign skips any unit whose key is present and decodable.
-type checkpointFile struct {
-	Version     int                        `json:"version"`
-	Fingerprint string                     `json:"fingerprint"`
-	Units       int                        `json:"units"`
-	Results     map[string]json.RawMessage `json:"results"`
-}
-
-// loadCheckpoint reads a checkpoint; a missing file is not an error (nil
-// checkpoint), anything unreadable or of the wrong version is.
-func loadCheckpoint(path string) (*checkpointFile, error) {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
-	}
-	var ck checkpointFile
-	if err := json.Unmarshal(data, &ck); err != nil {
-		return nil, fmt.Errorf("campaign: parse checkpoint %s: %w", path, err)
-	}
-	if ck.Version != checkpointVersion {
-		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d",
-			path, ck.Version, checkpointVersion)
-	}
-	return &ck, nil
-}
-
-// saveCheckpoint atomically persists every result marshalled so far
-// (restored payloads included, so a resumed-then-interrupted campaign
-// keeps its full history). Write-to-temp-then-rename keeps a crash from
-// truncating the previous checkpoint; ckptMu keeps concurrent flushes
-// from racing on the shared temp file.
+// saveCheckpoint persists every result marshalled so far (restored
+// payloads included, so a resumed-then-interrupted campaign keeps its
+// full history) through the configured Store. ckptMu keeps concurrent
+// flushes of this engine from racing on the store's temp file.
 func (e *engine) saveCheckpoint() error {
+	st := e.opts.store()
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
 	e.mu.Lock()
-	ck := checkpointFile{
+	ck := &Checkpoint{
 		Version:     checkpointVersion,
 		Fingerprint: e.opts.Fingerprint,
 		Results:     make(map[string]json.RawMessage, len(e.raw)+len(e.restored)),
@@ -66,22 +25,5 @@ func (e *engine) saveCheckpoint() error {
 	ck.Units = len(ck.Results)
 	e.stats.Checkpoints++
 	e.mu.Unlock()
-
-	data, err := json.Marshal(&ck)
-	if err != nil {
-		return fmt.Errorf("campaign: marshal checkpoint: %w", err)
-	}
-	tmp := e.opts.Checkpoint + ".tmp"
-	if dir := filepath.Dir(e.opts.Checkpoint); dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("campaign: checkpoint dir: %w", err)
-		}
-	}
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("campaign: write checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, e.opts.Checkpoint); err != nil {
-		return fmt.Errorf("campaign: commit checkpoint: %w", err)
-	}
-	return nil
+	return st.Save(ck)
 }

@@ -1,0 +1,175 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Gate admits unit executions. A campaign configured with a Gate
+// acquires one slot per live unit (restored units bypass the gate: a
+// checkpoint hit costs microseconds) and releases it when the unit
+// returns. Sharing one gate across several concurrent campaigns bounds
+// their combined parallelism — the job server's global worker budget.
+type Gate interface {
+	// Acquire blocks until a slot is free (or ctx is cancelled) and
+	// returns the release function for it. The release function is
+	// idempotent.
+	Acquire(ctx context.Context) (release func(), err error)
+}
+
+// ErrGateClosed is returned by Acquire on a tenant that was closed
+// while callers were waiting.
+var ErrGateClosed = errors.New("campaign: gate tenant closed")
+
+// FairGate is a counting semaphore whose slots are granted round-robin
+// across registered tenants: with B slots and J tenants that all have
+// work queued, every tenant ends up with ~B/J units in flight,
+// regardless of how many worker goroutines each tenant runs. This is
+// how the job server shares one global worker budget fairly across
+// concurrent campaigns — the unit granularity of the work-stealing
+// pool is what makes the interleave fine-grained.
+type FairGate struct {
+	mu      sync.Mutex
+	free    int
+	tenants []*Tenant
+	cursor  int // next tenant index to consider when a slot frees up
+}
+
+// NewFairGate builds a gate with the given slot budget (<= 0 selects
+// runtime.GOMAXPROCS(0)).
+func NewFairGate(budget int) *FairGate {
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	return &FairGate{free: budget}
+}
+
+// Tenant registers a new tenant. Each concurrent campaign gets its own
+// tenant; Close it when the campaign ends so the round-robin stops
+// considering it.
+func (fg *FairGate) Tenant() *Tenant {
+	t := &Tenant{fg: fg}
+	fg.mu.Lock()
+	fg.tenants = append(fg.tenants, t)
+	fg.mu.Unlock()
+	return t
+}
+
+// gateWaiter is one blocked Acquire. The channel is buffered so a
+// grant racing a cancellation never blocks the granter.
+type gateWaiter struct {
+	ch chan func()
+}
+
+// Tenant is one registered consumer of a FairGate. It implements Gate.
+type Tenant struct {
+	fg      *FairGate
+	waiters []*gateWaiter
+	closed  bool
+}
+
+// Acquire implements Gate: an immediate grant when a slot is free,
+// otherwise a FIFO wait inside this tenant's queue (the round-robin
+// across tenants decides which queue the freed slot goes to).
+func (t *Tenant) Acquire(ctx context.Context) (func(), error) {
+	fg := t.fg
+	fg.mu.Lock()
+	if t.closed {
+		fg.mu.Unlock()
+		return nil, ErrGateClosed
+	}
+	if fg.free > 0 {
+		fg.free--
+		fg.mu.Unlock()
+		return fg.releaseFunc(), nil
+	}
+	w := &gateWaiter{ch: make(chan func(), 1)}
+	t.waiters = append(t.waiters, w)
+	fg.mu.Unlock()
+
+	select {
+	case rel := <-w.ch:
+		if rel == nil {
+			return nil, ErrGateClosed
+		}
+		return rel, nil
+	case <-ctx.Done():
+		fg.mu.Lock()
+		for i, x := range t.waiters {
+			if x == w {
+				t.waiters = append(t.waiters[:i], t.waiters[i+1:]...)
+				fg.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		fg.mu.Unlock()
+		// Already dequeued: a grant (or close) is in flight. Take it and
+		// hand the slot straight back so it is not leaked.
+		if rel := <-w.ch; rel != nil {
+			rel()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// Close deregisters the tenant. Blocked Acquire calls fail with
+// ErrGateClosed; slots already granted stay valid until released.
+func (t *Tenant) Close() {
+	fg := t.fg
+	fg.mu.Lock()
+	if t.closed {
+		fg.mu.Unlock()
+		return
+	}
+	t.closed = true
+	waiters := t.waiters
+	t.waiters = nil
+	for i, x := range fg.tenants {
+		if x == t {
+			fg.tenants = append(fg.tenants[:i], fg.tenants[i+1:]...)
+			if fg.cursor > i {
+				fg.cursor--
+			}
+			break
+		}
+	}
+	if len(fg.tenants) > 0 {
+		fg.cursor %= len(fg.tenants)
+	} else {
+		fg.cursor = 0
+	}
+	fg.mu.Unlock()
+	for _, w := range waiters {
+		w.ch <- nil
+	}
+}
+
+// releaseFunc wraps release in a sync.Once so double-releasing a slot
+// cannot inflate the budget.
+func (fg *FairGate) releaseFunc() func() {
+	var once sync.Once
+	return func() { once.Do(fg.release) }
+}
+
+// release hands the freed slot to the next waiting tenant in
+// round-robin order, or returns it to the free pool when nobody waits.
+func (fg *FairGate) release() {
+	fg.mu.Lock()
+	n := len(fg.tenants)
+	for i := 0; i < n; i++ {
+		t := fg.tenants[(fg.cursor+i)%n]
+		if len(t.waiters) == 0 {
+			continue
+		}
+		w := t.waiters[0]
+		t.waiters = t.waiters[1:]
+		fg.cursor = (fg.cursor + i + 1) % n
+		fg.mu.Unlock()
+		w.ch <- fg.releaseFunc()
+		return
+	}
+	fg.free++
+	fg.mu.Unlock()
+}

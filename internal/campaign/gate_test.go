@@ -1,0 +1,247 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waiterCount reads a tenant's queue length (test-only helper).
+func waiterCount(t *Tenant) int {
+	t.fg.mu.Lock()
+	defer t.fg.mu.Unlock()
+	return len(t.waiters)
+}
+
+// TestFairGateRoundRobin: with one slot held and two tenants queued,
+// freed slots alternate strictly between the tenants regardless of how
+// many waiters each has queued.
+func TestFairGateRoundRobin(t *testing.T) {
+	fg := NewFairGate(1)
+	a, b := fg.Tenant(), fg.Tenant()
+	hold, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(tn *Tenant, label string, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rel, err := tn.Acquire(context.Background())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				order = append(order, label)
+				mu.Unlock()
+				rel()
+			}()
+		}
+	}
+	// Tenant a queues 4 waiters, tenant b only 2: fairness means b is
+	// not starved behind a's backlog.
+	enqueue(a, "a", 4)
+	enqueue(b, "b", 2)
+	for deadline := time.Now().Add(5 * time.Second); waiterCount(a) != 4 || waiterCount(b) != 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters did not queue: a=%d b=%d", waiterCount(a), waiterCount(b))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	hold()
+	wg.Wait()
+	got := fmt.Sprint(order)
+	// Grants alternate while both queues are non-empty (the cursor
+	// starts at a), then drain a's remaining backlog.
+	want := fmt.Sprint([]string{"a", "b", "a", "b", "a", "a"})
+	if got != want {
+		t.Fatalf("grant order %v, want %v", got, want)
+	}
+}
+
+// TestFairGateBudget: the number of concurrently held slots never
+// exceeds the budget under churn from several tenants.
+func TestFairGateBudget(t *testing.T) {
+	const budget = 3
+	fg := NewFairGate(budget)
+	var held, peak atomic.Int32
+	var wg sync.WaitGroup
+	for tn := 0; tn < 4; tn++ {
+		tenant := fg.Tenant()
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					rel, err := tenant.Acquire(context.Background())
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					h := held.Add(1)
+					for {
+						p := peak.Load()
+						if h <= p || peak.CompareAndSwap(p, h) {
+							break
+						}
+					}
+					held.Add(-1)
+					rel()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if p := peak.Load(); p > budget {
+		t.Fatalf("peak held slots = %d, budget %d", p, budget)
+	}
+}
+
+// TestFairGateCancelledWaiter: a waiter whose context dies leaves the
+// queue without leaking its slot, and a grant racing the cancellation
+// is handed back rather than lost.
+func TestFairGateCancelledWaiter(t *testing.T) {
+	fg := NewFairGate(1)
+	tn := fg.Tenant()
+	hold, err := tn.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := tn.Acquire(ctx)
+		errc <- err
+	}()
+	for deadline := time.Now().Add(5 * time.Second); waiterCount(tn) != 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter did not queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	hold()
+	// The slot must be reusable after the cancelled wait.
+	rel, err := tn.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+}
+
+// TestFairGateClose: closing a tenant fails its blocked waiters with
+// ErrGateClosed and removes it from the rotation; other tenants keep
+// the full budget.
+func TestFairGateClose(t *testing.T) {
+	fg := NewFairGate(1)
+	a, b := fg.Tenant(), fg.Tenant()
+	hold, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Acquire(context.Background())
+		errc <- err
+	}()
+	for deadline := time.Now().Add(5 * time.Second); waiterCount(b) != 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter did not queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	if err := <-errc; !errors.Is(err, ErrGateClosed) {
+		t.Fatalf("want ErrGateClosed, got %v", err)
+	}
+	if _, err := b.Acquire(context.Background()); !errors.Is(err, ErrGateClosed) {
+		t.Fatalf("acquire after close: %v", err)
+	}
+	hold()
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+}
+
+// TestFairGateDoubleRelease: releasing a slot twice must not inflate
+// the budget.
+func TestFairGateDoubleRelease(t *testing.T) {
+	fg := NewFairGate(1)
+	tn := fg.Tenant()
+	rel, err := tn.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel()
+	fg.mu.Lock()
+	free := fg.free
+	fg.mu.Unlock()
+	if free != 1 {
+		t.Fatalf("free = %d after double release, want 1", free)
+	}
+}
+
+// TestExecuteWithGate: two concurrent campaigns sharing a FairGate
+// never exceed the global budget even though each runs its own worker
+// pool.
+func TestExecuteWithGate(t *testing.T) {
+	const budget = 2
+	fg := NewFairGate(budget)
+	var live, peak atomic.Int32
+	mkUnits := func(n int) []Unit {
+		var units []Unit
+		for i := 0; i < n; i++ {
+			units = append(units, Unit{
+				Key: fmt.Sprintf("u/%d", i), Group: "g",
+				Run: func(context.Context) (any, error) {
+					h := live.Add(1)
+					for {
+						p := peak.Load()
+						if h <= p || peak.CompareAndSwap(p, h) {
+							break
+						}
+					}
+					time.Sleep(time.Millisecond)
+					live.Add(-1)
+					return &intResult{Value: i}, nil
+				},
+			})
+		}
+		return units
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		tenant := fg.Tenant()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer tenant.Close()
+			out, err := Execute(context.Background(),
+				Options{Workers: 4, Gate: tenant}, mkUnits(20))
+			if err != nil || out.Stats.Completed != 20 {
+				t.Errorf("campaign: %v, %+v", err, out)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > budget {
+		t.Fatalf("peak concurrent units = %d, budget %d", p, budget)
+	}
+}

@@ -138,7 +138,7 @@ func (e *engine) worker(ctx context.Context, id int) {
 			if restored {
 				e.stats.Restored++
 				g.Restored++
-			} else if e.opts.Checkpoint != "" {
+			} else if e.opts.store() != nil {
 				if raw, mErr := json.Marshal(res); mErr == nil {
 					e.raw[u.Key] = raw
 				} else if e.ckptErr == nil {
@@ -150,8 +150,14 @@ func (e *engine) worker(ctx context.Context, id int) {
 			}
 		}
 		e.inflight--
+		prog := Progress{
+			Total:     e.stats.UnitsTotal,
+			Completed: e.stats.Completed,
+			Restored:  e.stats.Restored,
+			Failed:    e.stats.Failed,
+		}
 		flush := false
-		if e.opts.Checkpoint != "" && !restored && err == nil {
+		if e.opts.store() != nil && !restored && err == nil {
 			e.sinceCkpt++
 			if e.sinceCkpt >= e.opts.checkpointEvery() {
 				e.sinceCkpt = 0
@@ -163,6 +169,9 @@ func (e *engine) worker(ctx context.Context, id int) {
 
 		if e.opts.OnUnitDone != nil && err == nil {
 			e.opts.OnUnitDone(u.Key, restored)
+		}
+		if e.opts.OnProgress != nil {
+			e.opts.OnProgress(prog)
 		}
 		if flush {
 			if sErr := e.saveCheckpoint(); sErr != nil {
@@ -177,13 +186,23 @@ func (e *engine) worker(ctx context.Context, id int) {
 }
 
 // perform resolves one unit: from the checkpoint when possible, live
-// otherwise, with panics converted to errors.
+// otherwise, with panics converted to errors. Live executions pass
+// through the admission gate (when one is configured) so concurrent
+// campaigns share the global slot budget; restored units bypass it —
+// a checkpoint hit costs microseconds, not a worker slot.
 func (e *engine) perform(ctx context.Context, u Unit) (res any, restored bool, err error) {
 	if raw, ok := e.restoredPayload(u.Key); ok && e.opts.Decode != nil {
 		if res, dErr := e.opts.Decode(u.Key, raw); dErr == nil {
 			return res, true, nil
 		}
 		// Undecodable payload (format drift): fall through and re-run.
+	}
+	if e.opts.Gate != nil {
+		release, gErr := e.opts.Gate.Acquire(ctx)
+		if gErr != nil {
+			return nil, false, gErr
+		}
+		defer release()
 	}
 	res, err = runShielded(ctx, u)
 	return res, false, err

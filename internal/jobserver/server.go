@@ -1,0 +1,172 @@
+// Package jobserver is the multi-tenant campaign job server behind
+// cmd/campaignd: clients submit a core.JobSpec and get back a job
+// handle, progress streams live from the campaign's unit counters and
+// the observability spans, and finished results are the exact
+// report.JSON bytes the CLI would have produced — an HTTP submission of
+// {"quick":true} is byte-identical to `dotest -quick`.
+//
+// Jobs are keyed by the spec's configuration fingerprint: the job id is
+// a hash of the fingerprint, so concurrent identical submissions
+// collapse into a single run (single-flight) and every submitter shares
+// its handle, progress stream and result. A bounded global worker
+// budget (campaign.FairGate) is shared fairly across concurrent jobs by
+// interleaving unit-granular work, and checkpoints persist through a
+// pluggable campaign.Store — with a content-addressed DirStore, a job
+// killed with the daemon resumes from its checkpoint when resubmitted
+// after a restart.
+package jobserver
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Budget bounds the number of campaign units executing concurrently
+	// across all jobs (<= 0 selects runtime.GOMAXPROCS(0)). Jobs share
+	// the budget fairly: each is a FairGate tenant, so a long-running
+	// campaign cannot starve a small one submitted behind it.
+	Budget int
+	// Store is the shared checkpoint backend (nil disables
+	// checkpointing and resume). A content-addressed DirStore keys each
+	// job's checkpoint by its per-DfT configuration fingerprint, so
+	// checkpoints survive daemon restarts and independent jobs never
+	// collide.
+	Store campaign.Store
+	// Logf, if non-nil, receives server lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the job table and the shared execution resources. Create
+// one with New; it runs jobs until Shutdown.
+type Server struct {
+	opts Options
+	gate *campaign.FairGate
+
+	// base is the parent context of every job: jobs outlive the HTTP
+	// requests that submit or watch them and die only with the server.
+	base     context.Context
+	baseStop context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	closed bool
+
+	wg          sync.WaitGroup
+	runsStarted atomic.Int64
+}
+
+// New builds a server. Jobs run until Shutdown; the server holds no
+// network state (see Handler for the HTTP surface).
+func New(opts Options) *Server {
+	if opts.Budget <= 0 {
+		opts.Budget = runtime.GOMAXPROCS(0)
+	}
+	base, stop := context.WithCancel(context.Background())
+	return &Server{
+		opts:     opts,
+		gate:     campaign.NewFairGate(opts.Budget),
+		base:     base,
+		baseStop: stop,
+		jobs:     map[string]*Job{},
+	}
+}
+
+// logf logs through the configured sink, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Submit registers the spec and returns its job. Submissions dedup on
+// the spec's fingerprint: while a run is live — or once it has finished
+// successfully — an identical submission returns the existing job
+// (deduped=true) instead of starting another run. A job that failed or
+// was cancelled restarts on resubmission, resuming from its checkpoint
+// when a Store is configured.
+func (s *Server) Submit(spec core.JobSpec) (j *Job, deduped bool, err error) {
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	fp := spec.Fingerprint()
+	id := core.JobID(fp)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, fmt.Errorf("jobserver: server is shut down")
+	}
+	if j, ok := s.jobs[id]; ok {
+		j.noteSubmit()
+		if st := j.State(); st != StateFailed && st != StateCancelled {
+			return j, true, nil
+		}
+		// Terminal failure: fall through and restart under the same id.
+	}
+	j = newJob(s, id, fp, spec)
+	s.jobs[id] = j
+	s.runsStarted.Add(1)
+	s.wg.Add(1)
+	ctx, cancel := context.WithCancel(s.base)
+	j.cancel = cancel
+	go j.run(ctx)
+	s.logf("job %s: started (fingerprint %s)", id, fp)
+	return j, false, nil
+}
+
+// Job looks a job up by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots the job table.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+// Store exposes the checkpoint backend (nil when checkpointing is off).
+func (s *Server) Store() campaign.Store { return s.opts.Store }
+
+// RunsStarted counts the campaign runs actually launched — the dedup
+// tests assert this stays at 1 under concurrent identical submissions.
+func (s *Server) RunsStarted() int64 { return s.runsStarted.Load() }
+
+// Shutdown cancels every live job and waits (bounded by ctx) for them
+// to flush their checkpoints and reach a terminal state. Further
+// submissions fail. The cancellation reaches into the analog kernel's
+// Newton/transient loops, so even a job mid-solve aborts in bounded
+// time with a valid resumable checkpoint.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.baseStop()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobserver: shutdown timed out: %w", ctx.Err())
+	}
+}

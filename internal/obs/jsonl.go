@@ -7,20 +7,7 @@ import (
 	"time"
 )
 
-// jsonlRecord is the wire form of one span in a JSONL trace. Timestamps
-// are microseconds relative to the writer's creation, so traces diff
-// cleanly across runs and leak no wall-clock state into outputs.
-type jsonlRecord struct {
-	Stage    string           `json:"stage"`
-	Macro    string           `json:"macro,omitempty"`
-	Class    string           `json:"class,omitempty"`
-	DfT      bool             `json:"dft,omitempty"`
-	TUS      float64          `json:"t_us"`
-	DurUS    float64          `json:"dur_us"`
-	Counters map[string]int64 `json:"counters,omitempty"`
-}
-
-// JSONLWriter is a Sink streaming one JSON object per span to w —
+// JSONLWriter is a Sink streaming one WireRecord per span to w —
 // the `-trace` output of cmd/dotest and cmd/campaign. Writes are
 // serialised internally; ordering across concurrent workers follows
 // span completion, not span start.
@@ -39,22 +26,7 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 
 // Emit implements Sink.
 func (jw *JSONLWriter) Emit(r *Record) {
-	out := jsonlRecord{
-		Stage: r.Stage,
-		Macro: r.Macro,
-		Class: r.Class,
-		DfT:   r.DfT,
-		TUS:   float64(r.Start.Sub(jw.epoch)) / float64(time.Microsecond),
-		DurUS: float64(r.Dur) / float64(time.Microsecond),
-	}
-	for i, n := range r.Counters {
-		if n != 0 {
-			if out.Counters == nil {
-				out.Counters = make(map[string]int64, len(r.Counters))
-			}
-			out.Counters[Counter(i).Name()] = n
-		}
-	}
+	out := r.Wire(jw.epoch)
 	jw.mu.Lock()
 	defer jw.mu.Unlock()
 	if jw.err == nil {

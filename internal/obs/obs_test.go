@@ -77,9 +77,9 @@ func TestJSONLWriter(t *testing.T) {
 		t.Fatal(err)
 	}
 	sc := bufio.NewScanner(&buf)
-	var recs []jsonlRecord
+	var recs []WireRecord
 	for sc.Scan() {
-		var r jsonlRecord
+		var r WireRecord
 		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
 			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
 		}

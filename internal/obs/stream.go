@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WireRecord is the JSON wire form of one span, shared by the JSONL
+// trace writer (`-trace`) and the job server's SSE progress stream.
+// Timestamps are microseconds relative to an epoch chosen by the
+// producer, so traces diff cleanly across runs and leak no wall-clock
+// state into outputs.
+type WireRecord struct {
+	Stage    string           `json:"stage"`
+	Macro    string           `json:"macro,omitempty"`
+	Class    string           `json:"class,omitempty"`
+	DfT      bool             `json:"dft,omitempty"`
+	TUS      float64          `json:"t_us"`
+	DurUS    float64          `json:"dur_us"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Wire converts the record to its wire form, timing it against epoch.
+func (r *Record) Wire(epoch time.Time) WireRecord {
+	out := WireRecord{
+		Stage: r.Stage,
+		Macro: r.Macro,
+		Class: r.Class,
+		DfT:   r.DfT,
+		TUS:   float64(r.Start.Sub(epoch)) / float64(time.Microsecond),
+		DurUS: float64(r.Dur) / float64(time.Microsecond),
+	}
+	for i, n := range r.Counters {
+		if n != 0 {
+			if out.Counters == nil {
+				out.Counters = make(map[string]int64, len(r.Counters))
+			}
+			out.Counters[Counter(i).Name()] = n
+		}
+	}
+	return out
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(r *Record)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(r *Record) { f(r) }
+
+// StreamEvent is one span delivered to a Streamer subscriber. Seq is a
+// monotone per-streamer sequence number: gaps tell a subscriber how
+// many events it lost to backpressure drops.
+type StreamEvent struct {
+	Seq uint64
+	Rec Record
+}
+
+// Streamer is the span → live-stream bridge: a Sink fanning finished
+// spans out to subscribers (the SSE connections of the campaign job
+// server). Publishing never blocks — a subscriber that cannot keep up
+// has events dropped and counted instead of stalling the pipeline's
+// workers, so a slow or disconnected client can never slow down (let
+// alone cancel) the run it is watching.
+type Streamer struct {
+	mu   sync.Mutex
+	subs map[*StreamSub]struct{}
+	seq  uint64
+}
+
+// NewStreamer returns an empty streamer.
+func NewStreamer() *Streamer {
+	return &Streamer{subs: map[*StreamSub]struct{}{}}
+}
+
+// Emit implements Sink: it copies the record (sinks must not retain the
+// pointer) and offers it to every subscriber without blocking.
+func (s *Streamer) Emit(r *Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	ev := StreamEvent{Seq: s.seq, Rec: *r}
+	for sub := range s.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped.Add(1)
+		}
+	}
+}
+
+// Subscribe registers a subscriber with the given channel buffer
+// (minimum 1). Events emitted while the buffer is full are dropped for
+// this subscriber only.
+func (s *Streamer) Subscribe(buf int) *StreamSub {
+	if buf < 1 {
+		buf = 1
+	}
+	sub := &StreamSub{st: s, ch: make(chan StreamEvent, buf)}
+	s.mu.Lock()
+	s.subs[sub] = struct{}{}
+	s.mu.Unlock()
+	return sub
+}
+
+// StreamSub is one live subscription.
+type StreamSub struct {
+	st      *Streamer
+	ch      chan StreamEvent
+	dropped atomic.Int64
+	closed  bool
+}
+
+// C is the event channel. It is closed by Close.
+func (sub *StreamSub) C() <-chan StreamEvent { return sub.ch }
+
+// Dropped counts events lost to backpressure so far.
+func (sub *StreamSub) Dropped() int64 { return sub.dropped.Load() }
+
+// Close unsubscribes and closes the channel (buffered events remain
+// readable). Safe to call once per subscription.
+func (sub *StreamSub) Close() {
+	sub.st.mu.Lock()
+	if sub.closed {
+		sub.st.mu.Unlock()
+		return
+	}
+	sub.closed = true
+	delete(sub.st.subs, sub)
+	sub.st.mu.Unlock()
+	close(sub.ch)
+}

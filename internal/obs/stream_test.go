@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWireRecordMatchesJSONL: the exported wire form carries the same
+// fields the JSONL trace always wrote — zero counters elided, times in
+// microseconds from the epoch.
+func TestWireRecordMatchesJSONL(t *testing.T) {
+	epoch := time.Unix(100, 0)
+	r := Record{
+		Stage: StageFaultSim, Macro: "comparator", Class: "short/1", DfT: true,
+		Start: epoch.Add(250 * time.Microsecond),
+		Dur:   3 * time.Millisecond,
+	}
+	r.Counters[CtrNewtonIters] = 42
+	w := r.Wire(epoch)
+	if w.Stage != StageFaultSim || w.Macro != "comparator" || w.Class != "short/1" || !w.DfT {
+		t.Fatalf("labels: %+v", w)
+	}
+	if w.TUS != 250 || w.DurUS != 3000 {
+		t.Fatalf("times: t_us=%v dur_us=%v", w.TUS, w.DurUS)
+	}
+	if len(w.Counters) != 1 || w.Counters["newton_iters"] != 42 {
+		t.Fatalf("counters: %v", w.Counters)
+	}
+}
+
+// TestStreamerFanout: every subscriber sees every event in order with
+// monotone sequence numbers.
+func TestStreamerFanout(t *testing.T) {
+	st := NewStreamer()
+	a, b := st.Subscribe(8), st.Subscribe(8)
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 3; i++ {
+		st.Emit(&Record{Stage: StageInject})
+	}
+	for _, sub := range []*StreamSub{a, b} {
+		var last uint64
+		for i := 0; i < 3; i++ {
+			ev := <-sub.C()
+			if ev.Seq <= last {
+				t.Fatalf("seq went %d -> %d", last, ev.Seq)
+			}
+			last = ev.Seq
+			if ev.Rec.Stage != StageInject {
+				t.Fatalf("stage %q", ev.Rec.Stage)
+			}
+		}
+		if sub.Dropped() != 0 {
+			t.Fatalf("dropped %d", sub.Dropped())
+		}
+	}
+}
+
+// TestStreamerSlowSubscriberDrops: a full subscriber buffer drops (and
+// counts) events for that subscriber only — Emit never blocks, and a
+// healthy subscriber keeps receiving everything.
+func TestStreamerSlowSubscriberDrops(t *testing.T) {
+	st := NewStreamer()
+	slow := st.Subscribe(1)
+	fast := st.Subscribe(16)
+	defer fast.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			st.Emit(&Record{Stage: StageDetect})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked on a slow subscriber")
+	}
+	if got := slow.Dropped(); got != 9 {
+		t.Fatalf("slow subscriber dropped %d, want 9", got)
+	}
+	slow.Close()
+	for i := 0; i < 10; i++ {
+		if ev := <-fast.C(); ev.Rec.Stage != StageDetect {
+			t.Fatalf("fast subscriber event %d: %+v", i, ev)
+		}
+	}
+	if fast.Dropped() != 0 {
+		t.Fatalf("fast subscriber dropped %d", fast.Dropped())
+	}
+}
+
+// TestStreamerClose: Close unsubscribes (later emits don't reach the
+// channel), closes the channel after the buffered tail, and is
+// idempotent.
+func TestStreamerClose(t *testing.T) {
+	st := NewStreamer()
+	sub := st.Subscribe(4)
+	st.Emit(&Record{Stage: StageSprinkle})
+	sub.Close()
+	sub.Close()
+	st.Emit(&Record{Stage: StageSprinkle})
+	if ev, ok := <-sub.C(); !ok || ev.Rec.Stage != StageSprinkle {
+		t.Fatalf("buffered tail: %+v ok=%v", ev, ok)
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel not closed after Close")
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("dropped %d", sub.Dropped())
+	}
+}
+
+// TestStreamerAsObserverSink: the streamer plugs into an Observer next
+// to the aggregator — spans emitted through the normal Start/End path
+// arrive with their counter deltas.
+func TestStreamerAsObserverSink(t *testing.T) {
+	st := NewStreamer()
+	sub := st.Subscribe(4)
+	defer sub.Close()
+	o := New(NewAgg(), st)
+	var met Metrics
+	sp := o.Start(StageFaultSim, "opamp", "open/2", false, &met)
+	met.Add(CtrLUSolves, 11)
+	sp.End()
+	ev := <-sub.C()
+	if ev.Rec.Stage != StageFaultSim || ev.Rec.Macro != "opamp" ||
+		ev.Rec.Counters[CtrLUSolves] != 11 {
+		t.Fatalf("span record: %+v", ev.Rec)
+	}
+}

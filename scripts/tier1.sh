@@ -23,6 +23,11 @@
 #                        beyond 0.1% (exactly zero for the deterministic
 #                        kernel cases) fails, so machine noise passes but
 #                        a reverted kernel optimisation does not
+#   8. campaignd smoke — (skipped with SHORT=1) start the job server,
+#                        submit a -quick job over HTTP, stream it to
+#                        completion, verify the result bytes are
+#                        identical to a direct `dotest -quick` run, and
+#                        shut the daemon down with SIGTERM (exit 130)
 set -eu
 
 fmt=$(gofmt -l .)
@@ -64,5 +69,48 @@ go test $short -shuffle=on ./...
 go test $short -race ./...
 go test -bench=. -benchtime=1x ./...
 go run ./cmd/benchkernel -benchtime 100ms -check BENCH_kernel.json
+
+# Campaignd smoke: the service path must be byte-identical to the CLI.
+# A job submitted over HTTP runs the same quick configuration as a
+# direct dotest run; the served result bytes must match exactly, and a
+# SIGTERM must drain the daemon to the conventional exit status 130.
+if [ -z "${SHORT:-}" ]; then
+	tmp=$(mktemp -d)
+	trap 'rm -rf "$tmp"' EXIT
+	go build -o "$tmp/dotest" ./cmd/dotest
+	go build -o "$tmp/campaignd" ./cmd/campaignd
+	go build -o "$tmp/campaignctl" ./cmd/campaignctl
+
+	"$tmp/dotest" -quick -dft pre -workers 0 -json "$tmp/ref.json" >/dev/null
+
+	"$tmp/campaignd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" -store "$tmp/ckpts" &
+	dpid=$!
+	i=0
+	while [ ! -s "$tmp/addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 1000 ]; then
+			echo "campaignd smoke: daemon never wrote its address" >&2
+			kill "$dpid" 2>/dev/null || true
+			exit 1
+		fi
+		sleep 0.01
+	done
+	addr="http://$(cat "$tmp/addr")"
+
+	id=$("$tmp/campaignctl" -server "$addr" submit -quick -dft pre -wait)
+	"$tmp/campaignctl" -server "$addr" result "$id" -dft pre -o "$tmp/srv.json"
+	cmp "$tmp/ref.json" "$tmp/srv.json"
+
+	kill -TERM "$dpid"
+	set +e
+	wait "$dpid"
+	status=$?
+	set -e
+	if [ "$status" -ne 130 ]; then
+		echo "campaignd smoke: daemon exited $status, want 130" >&2
+		exit 1
+	fi
+	echo "tier1: campaignd smoke passed (byte-identical to dotest)"
+fi
 
 echo "tier1: all stages passed"
