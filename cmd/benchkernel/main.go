@@ -73,6 +73,11 @@ func main() {
 	}
 	for _, c := range kernelbench.Cases() {
 		r := testing.Benchmark(c.Bench)
+		if r.N == 0 {
+			// testing.Benchmark returns a zero result when the case
+			// called b.Fatal — e.g. the rank1 case's counter assertions.
+			log.Fatalf("%s: benchmark failed (see output above)", c.Name)
+		}
 		res := Result{
 			Name:     c.Name,
 			N:        r.N,

@@ -10,6 +10,7 @@ package adc
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // StuckNone marks a comparator that is not stuck.
@@ -42,8 +43,9 @@ type ADC struct {
 	// converter.
 	Decode Decoder
 
-	sampleSeq uint64 // drives the deterministic Erratic toggles
-	thermo    []bool // per-instance Convert scratch (ADC is not concurrency-safe)
+	sampleSeq uint64    // drives the deterministic Erratic toggles
+	thermo    []bool    // per-instance Convert scratch (ADC is not concurrency-safe)
+	pmax      []float64 // per-instance prefixMaxThresholds scratch
 }
 
 // New builds a fault-free n-tap ADC spanning [vlo, vhi]. With n = 256 this
@@ -122,6 +124,35 @@ func (a *ADC) convertDefault(vin float64) int {
 	return len(a.Taps)
 }
 
+// prefixMaxThresholds returns the running maximum of the effective
+// comparison thresholds Taps[i]+Offset[i]. The first-zero code of an
+// arbitrary (even non-monotonic, faulted) threshold vector is the
+// smallest i with vin <= t[i], which — because the prefix maximum is
+// non-decreasing and first reaches >= vin exactly at that i — equals
+// the lower-bound index of vin in this array. That turns the O(n)
+// convertDefault scan into an O(log n) binary search with bit-identical
+// results. Returns nil when any threshold is NaN (unordered against
+// everything, which the prefix maximum cannot represent); callers then
+// keep the linear scan.
+func (a *ADC) prefixMaxThresholds() []float64 {
+	if cap(a.pmax) < len(a.Taps) {
+		a.pmax = make([]float64, len(a.Taps))
+	}
+	pmax := a.pmax[:len(a.Taps)]
+	m := math.Inf(-1)
+	for i := range a.Taps {
+		t := a.Taps[i] + a.Comps[i].Offset
+		if math.IsNaN(t) {
+			return nil
+		}
+		if t > m {
+			m = t
+		}
+		pmax[i] = m
+	}
+	return pmax
+}
+
 // Convert produces the output code for one input sample.
 func (a *ADC) Convert(vin float64) int {
 	if len(a.thermo) < len(a.Taps) {
@@ -177,7 +208,10 @@ func (a *ADC) MissingCodeTest(vlo, vhi float64, samples int) *RampResult {
 	res := &RampResult{Hist: make([]int, a.Codes()), Samples: samples}
 	span := vhi - vlo
 	over := 0.02 * span // sweep 2 % beyond the range ends
-	fast := a.allDefault()
+	var pmax []float64
+	if a.allDefault() {
+		pmax = a.prefixMaxThresholds()
+	}
 	for i := 0; i < samples; i++ {
 		ph := 2 * float64(i) / float64(samples) // 0..2 → up and down
 		var v float64
@@ -186,8 +220,8 @@ func (a *ADC) MissingCodeTest(vlo, vhi float64, samples int) *RampResult {
 		} else {
 			v = vhi + over - (ph-1)*(span+2*over)
 		}
-		if fast {
-			res.Hist[a.convertDefault(v)]++
+		if pmax != nil {
+			res.Hist[sort.SearchFloat64s(pmax, v)]++
 		} else {
 			res.Hist[a.Convert(v)]++
 		}

@@ -2,6 +2,7 @@ package adc
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -191,6 +192,76 @@ func TestQuickStuckAlwaysDetected(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Property: the binary search over prefix-maximum thresholds that
+// MissingCodeTest uses in the allDefault case returns exactly the
+// linear first-zero scan's code, for arbitrary (non-monotonic, faulted)
+// tap and offset vectors. This is the exactness contract that lets the
+// ramp test bypass the O(n) scan without perturbing a single histogram
+// bin.
+func TestQuickPrefixMaxSearchMatchesScan(t *testing.T) {
+	f := func(seed uint64, probeRaw uint8) bool {
+		n := 32 + int(seed%5)*16
+		a := New(n, vlo, vhi)
+		state := seed
+		next := func() float64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return float64(state>>40)/float64(1<<24) - 0.5
+		}
+		for i := range a.Taps {
+			// Scramble hard: large tap excursions and offsets, so the
+			// threshold vector is thoroughly non-monotonic.
+			a.Taps[i] += next() * (vhi - vlo)
+			a.Comps[i].Offset = next() * 0.3
+		}
+		pmax := a.prefixMaxThresholds()
+		if pmax == nil {
+			return false
+		}
+		// Probe across and beyond the scrambled range, plus exact
+		// threshold values (the tie-break cases).
+		probes := []float64{
+			vlo - 2, vhi + 2,
+			vlo + float64(probeRaw)/255*(vhi-vlo),
+			a.Taps[int(probeRaw)%n] + a.Comps[int(probeRaw)%n].Offset,
+		}
+		for _, v := range probes {
+			want := a.convertDefault(v)
+			if got := sort.SearchFloat64s(pmax, v); got != want {
+				t.Logf("v=%g: search %d, scan %d", v, got, want)
+				return false
+			}
+			// Convert must agree too (same comparisons, full thermometer).
+			if got := a.Convert(v); got != want {
+				t.Logf("v=%g: Convert %d, scan %d", v, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefixMaxNaNFallsBack pins the NaN guard: an unordered threshold
+// cannot be represented by the prefix maximum, so the fast path must
+// refuse and MissingCodeTest must keep the (identical-result) scan.
+func TestPrefixMaxNaNFallsBack(t *testing.T) {
+	a := fresh()
+	a.Comps[13].Offset = math.NaN()
+	if a.prefixMaxThresholds() != nil {
+		t.Fatal("prefixMaxThresholds accepted a NaN threshold")
+	}
+	res := a.MissingCodeTest(vlo, vhi, 500)
+	total := 0
+	for _, h := range res.Hist {
+		total += h
+	}
+	if total != 500 {
+		t.Fatalf("histogram lost samples under NaN fallback: %d/500", total)
 	}
 }
 

@@ -1,0 +1,111 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/process"
+)
+
+// planBench builds the richer testbench the Plan/Inject pairing test
+// runs on: the divider plus a transistor (for the device-referenced
+// kinds) and a couple of extra nets.
+func planBench() *netlist.Builder {
+	b := divider()
+	b.R("r3", "mid", "tapa", 500)
+	b.R("r4", "tapa", "tapb", 500)
+	b.NMOS("m1", "mid", "tapa", "0", 4, 1)
+	return b
+}
+
+// TestQuickPlanMirrorsInject is the drift guard promised in Plan's doc
+// comment: over randomized faults — valid and malformed, catastrophic
+// and near-miss, known and unknown nets — Plan against an untouched
+// circuit must (a) error exactly when Inject errors, with the same
+// message; (b) when it reports no topology change, predict Inject's
+// appended elements exactly (same order, labels, terminals, values)
+// with the node set untouched; and (c) when it reports a topology
+// change, be vindicated by Inject growing the node set.
+func TestQuickPlanMirrorsInject(t *testing.T) {
+	proc := process.Default()
+	nets := []string{"mid", "tapa", "tapb", "vdd", "vss", "nosuch", "ghost"}
+	devices := []string{"m1", "r1", "absent"}
+	kinds := []Kind{Short, ThickOxPinhole, ExtraContactKind, JunctionPinholeKind,
+		GOSPinhole, ShortedDevice, Open, NewDevice, Kind(99)}
+	rng := rand.New(rand.NewSource(23))
+
+	for trial := 0; trial < 500; trial++ {
+		f := Fault{Kind: kinds[rng.Intn(len(kinds))]}
+		nNets := rng.Intn(4)
+		for i := 0; i < nNets; i++ {
+			f.Nets = append(f.Nets, nets[rng.Intn(len(nets))])
+		}
+		if rng.Intn(2) == 0 {
+			f.Res = rng.Float64() * 100
+		}
+		f.Device = devices[rng.Intn(len(devices))]
+		if f.Kind == NewDevice && rng.Intn(2) == 0 {
+			f.GateNet = nets[rng.Intn(len(nets))]
+		}
+		// Far terminals for the splitting kinds: a mix of genuine
+		// terminals, unknown devices, off-net references and duplicates
+		// (which the mutating walk rejects on the second encounter).
+		for i := rng.Intn(3); i > 0; i-- {
+			ft := Terminal{Device: devices[rng.Intn(len(devices))], Net: nets[rng.Intn(len(nets))]}
+			f.FarTerminals = append(f.FarTerminals, ft)
+			if rng.Intn(4) == 0 {
+				f.FarTerminals = append(f.FarTerminals, ft)
+			}
+		}
+		opt := InjectOptions{
+			NonCat: rng.Intn(3) == 0,
+			GOS:    GOSVariant(rng.Intn(4)), // includes one invalid variant
+		}
+		label := fmt.Sprintf("trial %d %+v opt %+v", trial, f, opt)
+
+		planned := planBench()
+		plan, planErr := Plan(planned.C, f, proc, opt)
+		// Plan must not have touched the circuit it inspected.
+		pristine := planBench()
+		if planned.C.NumNodes() != pristine.C.NumNodes() ||
+			len(planned.C.Elems) != len(pristine.C.Elems) {
+			t.Fatalf("%s: Plan mutated the circuit", label)
+		}
+
+		injected := planBench()
+		before := len(injected.C.Elems)
+		nodesBefore := injected.C.NumNodes()
+		injErr := Inject(injected.C, f, proc, opt)
+
+		if (planErr == nil) != (injErr == nil) {
+			t.Fatalf("%s: plan err %v, inject err %v", label, planErr, injErr)
+		}
+		if planErr != nil {
+			if planErr.Error() != injErr.Error() {
+				t.Fatalf("%s: error drift: plan %q, inject %q", label, planErr, injErr)
+			}
+			continue
+		}
+		if plan.TopologyChanged {
+			if injected.C.NumNodes() <= nodesBefore {
+				t.Fatalf("%s: plan claims topology change, inject created no node", label)
+			}
+			continue
+		}
+		if injected.C.NumNodes() != nodesBefore {
+			t.Fatalf("%s: plan claims in-place update, inject grew the node set", label)
+		}
+		got := injected.C.Elems[before:]
+		if len(got) != len(plan.Added) {
+			t.Fatalf("%s: plan predicts %d elements, inject added %d", label, len(plan.Added), len(got))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], plan.Added[i]) {
+				t.Fatalf("%s: element %d drift:\nplan   %#v\ninject %#v", label, i, plan.Added[i], got[i])
+			}
+		}
+	}
+}

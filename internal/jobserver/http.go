@@ -256,6 +256,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-j.Done():
 		case <-r.Context().Done():
+			// The client disconnected mid-wait. Writing nothing is
+			// deliberate: net/http discards writes after the request
+			// context is canceled, so there is no one to address. The
+			// wait itself is a bare two-channel select — no server lock
+			// is held across it and no goroutine or subscription was
+			// created for it — so an abandoned wait leaves no trace and
+			// cannot stall the job, other waiters or event watchers.
 			return
 		}
 	}

@@ -462,3 +462,75 @@ func TestSubmitAfterShutdown(t *testing.T) {
 		t.Fatal("submit accepted after shutdown")
 	}
 }
+
+// TestResultWaitClientDisconnect pins the abandoned-wait contract of
+// GET .../result?wait=1: a client that disconnects mid-wait gets its
+// handler released promptly (no body is written — there is no one left
+// to write to) and leaves nothing behind — the job keeps running and a
+// concurrent ?wait=1 watcher still receives the full, correct result.
+func TestResultWaitClientDisconnect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real campaign")
+	}
+	_, hs := newTestServer(t, Options{})
+	sub, code := postSpec(t, hs.URL, testSpec)
+	if code != http.StatusCreated && code != http.StatusOK {
+		t.Fatalf("submit status %d", code)
+	}
+	url := fmt.Sprintf("%s/api/v1/jobs/%s/result?dft=pre&wait=1", hs.URL, sub.ID)
+
+	// The surviving watcher, racing the doomed wait on the same job.
+	type watchOut struct {
+		data []byte
+		err  error
+	}
+	watch := make(chan watchOut, 1)
+	go func() {
+		resp, err := http.Get(url)
+		if err != nil {
+			watch <- watchOut{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("watcher status %d: %s", resp.StatusCode, data)
+		}
+		watch <- watchOut{data: data, err: err}
+	}()
+
+	// The doomed wait: same endpoint, canceled while the job is still
+	// running (the test campaign takes seconds; the cancel lands in ms).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		doomed <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-doomed:
+		if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+			t.Fatalf("doomed wait returned %v, want context cancellation", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled ?wait=1 request did not return")
+	}
+
+	out := <-watch
+	if out.err != nil {
+		t.Fatalf("watcher after canceled wait: %v", out.err)
+	}
+	if !bytes.Equal(out.data, referenceResult(t)) {
+		t.Fatal("watcher result diverged after a concurrent canceled wait")
+	}
+}

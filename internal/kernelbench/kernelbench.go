@@ -25,6 +25,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/macros"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/spice"
 )
@@ -194,6 +195,36 @@ func Cases() []Case {
 				if _, err := core.NewPipeline(cfg).GoodSpace(context.Background(), false); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		{Name: "rank1/ladder-update", Bench: func(b *testing.B) {
+			// The low-rank fault-update quantum: one faulted ladder solve
+			// against the variation's shared nominal factorization. The
+			// post-run counter assertions make this case a functional
+			// guard as well as a timing one — if the fast path silently
+			// starts falling back to the rebuild+refactor path, the case
+			// fails rather than just slowing down.
+			l := macros.NewLadder()
+			met := &obs.Metrics{}
+			opt := macros.RespondOpts{Var: macros.Nominal(),
+				Base: macros.NewBaselines(), Metrics: met}
+			f := &faults.Fault{Kind: faults.Short, Nets: []string{"t096", "t128"}, Res: 25}
+			if _, err := l.Respond(context.Background(), f, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Respond(context.Background(), f, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if n := met.Get(obs.CtrRank1Fallbacks); n != 0 {
+				b.Fatalf("rank1_fallbacks = %d, want 0: the update path regressed to the rebuild path", n)
+			}
+			if n := met.Get(obs.CtrRank1Solves); n < int64(b.N) {
+				b.Fatalf("rank1_solves = %d over %d timed ops", n, b.N)
 			}
 		}},
 		{Name: "analyzeclass/ladder-bridge", Bench: func(b *testing.B) {

@@ -58,8 +58,19 @@ func (l *LadderMacro) buildLadderCircuit(v Variation) *netlist.Builder {
 	return b
 }
 
-// solveTaps returns the tap voltages and terminal currents.
+// solveTaps returns the tap voltages and terminal currents. Faulted
+// solves first try the low-rank update path against the variation's
+// shared nominal factorization; faults it cannot express (topology
+// changes, ill-conditioned corrections) fall through to the classic
+// build-inject-refactor path below, which is also the path of every
+// fault-free solve.
 func (l *LadderMacro) solveTaps(ctx context.Context, f *faults.Fault, opt RespondOpts) (taps []float64, ihi, ilo float64, err error) {
+	if f != nil && opt.Base != nil {
+		if taps, ihi, ilo, ok, err := l.solveTapsUpdated(ctx, f, opt); ok {
+			return taps, ihi, ilo, err
+		}
+		opt.Metrics.Add(obs.CtrRank1Fallbacks, 1)
+	}
 	sp := opt.span(obs.StageInject, l.Name())
 	b := l.buildLadderCircuit(opt.Var)
 	if f != nil {
@@ -80,6 +91,59 @@ func (l *LadderMacro) solveTaps(ctx context.Context, f *faults.Fault, opt Respon
 		taps[k] = sol.V(tapName(k))
 	}
 	return taps, sol.I("vrefhi"), sol.I("vreflo"), nil
+}
+
+// solveTapsUpdated is the rank-k fast path of solveTaps: it expresses
+// the fault as a conductance delta against the variation's cached
+// nominal factorization and solves it with a Sherman–Morrison–Woodbury
+// correction — no circuit rebuild, no refactorization. ok=false means
+// "not handled here, take the classic path" (and the caller counts the
+// fallback); ok=true with a non-nil err carries a genuine failure (only
+// cancellation, in practice) with the same semantics as the classic
+// path. Results agree with the classic path within the Newton
+// convergence contract; the bit-identity story is in DESIGN.md §10.
+func (l *LadderMacro) solveTapsUpdated(ctx context.Context, f *faults.Fault, opt RespondOpts) (taps []float64, ihi, ilo float64, ok bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, 0, true, err
+	}
+	sp := opt.span(obs.StageInject, l.Name())
+	nf, hit := opt.Base.ladderFactor(opt.Var)
+	if !hit {
+		var err error
+		nf, err = spice.NewNominalFactor(l.buildLadderCircuit(opt.Var).C, opt.simOptions())
+		if err != nil {
+			sp.End()
+			return nil, 0, 0, false, nil
+		}
+		opt.Base.storeLadderFactor(opt.Var, nf)
+	}
+	plan, err := faults.Plan(nf.Ckt(), *f, procShared, faults.InjectOptions{NonCat: opt.NonCat})
+	if err != nil || plan.TopologyChanged {
+		// A malformed fault errors identically out of the classic path's
+		// Inject; a topology change needs the rebuilt system.
+		sp.End()
+		return nil, 0, 0, false, nil
+	}
+	upd, updatable := nf.UpdateFor(plan.Added)
+	sp.End()
+	if !updatable {
+		return nil, 0, 0, false, nil
+	}
+	sp = opt.span(obs.StageFaultSim, l.Name())
+	sol, err := nf.SolveUpdated(upd)
+	sp.End()
+	if err != nil {
+		// Ill-conditioned correction or non-convergence: let the classic
+		// path refactor from scratch (reproducing a genuine failure with
+		// classic semantics if the system really is unsolvable).
+		return nil, 0, 0, false, nil
+	}
+	opt.Metrics.Add(obs.CtrRank1Solves, 1)
+	taps = make([]float64, LadderSegments+1)
+	for k := range taps {
+		taps[k] = sol.V(tapName(k))
+	}
+	return taps, sol.I("vrefhi"), sol.I("vreflo"), true, nil
 }
 
 // nominalTaps returns the fault-free tap voltages under opt's variation,

@@ -107,16 +107,18 @@ type cmpNomKey struct {
 //
 // A nil *Baselines disables memoisation.
 type Baselines struct {
-	mu     sync.Mutex
-	ladder map[Variation][]float64
-	cmpNom map[cmpNomKey]*signature.Response
+	mu       sync.Mutex
+	ladder   map[Variation][]float64
+	ladderNF map[Variation]*spice.NominalFactor
+	cmpNom   map[cmpNomKey]*signature.Response
 }
 
 // NewBaselines returns an empty baseline cache.
 func NewBaselines() *Baselines {
 	return &Baselines{
-		ladder: map[Variation][]float64{},
-		cmpNom: map[cmpNomKey]*signature.Response{},
+		ladder:   map[Variation][]float64{},
+		ladderNF: map[Variation]*spice.NominalFactor{},
+		cmpNom:   map[cmpNomKey]*signature.Response{},
 	}
 }
 
@@ -141,6 +143,35 @@ func (b *Baselines) storeLadderTaps(v Variation, taps []float64) {
 	defer b.mu.Unlock()
 	if _, ok := b.ladder[v]; !ok {
 		b.ladder[v] = taps
+	}
+}
+
+// ladderFactor returns the cached shared nominal factorization of the
+// ladder under one variation. Like the tap cache, entries are immutable
+// once stored: a NominalFactor is read-only after construction (solves
+// against it never mutate it), so concurrent class analyses share one
+// safely.
+func (b *Baselines) ladderFactor(v Variation) (*spice.NominalFactor, bool) {
+	if b == nil {
+		return nil, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	nf, ok := b.ladderNF[v]
+	return nf, ok
+}
+
+// storeLadderFactor records the nominal factorization for one variation.
+// First store wins (racing constructions factor the same deterministic
+// system, so whichever lands is equivalent).
+func (b *Baselines) storeLadderFactor(v Variation, nf *spice.NominalFactor) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.ladderNF[v]; !ok {
+		b.ladderNF[v] = nf
 	}
 }
 

@@ -41,6 +41,12 @@ func (r *Resistor) Stamp(ctx *Context, _ int) {
 // B-side re-recording has nothing to do.
 func (r *Resistor) StampB(*Context, int) {}
 
+// ConductanceStamp implements GStamper: a resistor's stamp is the pure
+// conductance 1/R between its terminals in every mode.
+func (r *Resistor) ConductanceStamp(StampMode) (NodeID, NodeID, float64, bool) {
+	return r.A, r.B, 1 / r.R, true
+}
+
 // Capacitor is a linear two-terminal capacitance. In DC it is an open
 // circuit; in transient analysis it uses the backward-Euler companion
 // model g = C/dt with an equivalent history current.

@@ -262,6 +262,17 @@ type BStamper interface {
 	StampB(ctx *Context, auxBase int)
 }
 
+// GStamper is an optional interface for elements whose entire stamp in
+// a given mode is a single two-node conductance — i.e. Stamp performs
+// exactly StampG(a, b, g) and nothing else (no right-hand side, no aux
+// rows). The low-rank fault-update path uses it to express an injected
+// element as a rank-1 delta against the nominal matrix; an element that
+// cannot make that promise for the mode returns ok == false and the
+// caller falls back to a full refactor.
+type GStamper interface {
+	ConductanceStamp(mode StampMode) (a, b NodeID, g float64, ok bool)
+}
+
 // badTerminal formats the panic message for Retarget misuse.
 func badTerminal(name string, i int) string {
 	return fmt.Sprintf("netlist: element %s has no terminal %d", name, i)

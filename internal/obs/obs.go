@@ -83,6 +83,14 @@ const (
 	CtrBaselineCacheHits
 	// CtrGoodspaceDies counts completed good-space Monte Carlo dies.
 	CtrGoodspaceDies
+	// CtrRank1Solves counts fault operating points served by the
+	// low-rank (Sherman–Morrison–Woodbury) update path against a shared
+	// nominal factorization instead of a per-fault rebuild+refactor.
+	CtrRank1Solves
+	// CtrRank1Fallbacks counts faults that entered the low-rank path
+	// but fell back to the classic rebuild: topology-changing models,
+	// ill-conditioned corrections, non-convergence.
+	CtrRank1Fallbacks
 
 	// NumCounters is the size of a Metrics block.
 	NumCounters
@@ -99,6 +107,8 @@ var counterNames = [NumCounters]string{
 	"dense_fallbacks",
 	"baseline_cache_hits",
 	"goodspace_dies",
+	"rank1_solves",
+	"rank1_fallbacks",
 }
 
 // Name returns the canonical (JSON) name of the counter.

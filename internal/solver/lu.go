@@ -170,8 +170,13 @@ func (f *LU) Solve(b []float64) []float64 {
 }
 
 // SolveInto solves A·x = b for the factored A into the caller-provided x
-// (len n), allocation-free. b is not modified; x must not alias b.
+// (len n), allocation-free. b is not modified; x must not alias b —
+// the permutation pass reads b[piv[i]] after writing x[i], so an
+// aliased call would fold already-permuted values back into the
+// source. The overlap is a programming error, so it panics (same
+// contract as an out-of-range index) rather than returning an error.
 func (f *LU) SolveInto(x, b []float64) []float64 {
+	checkNoAlias(x, b)
 	n := f.n
 	// Apply permutation.
 	for i := 0; i < n; i++ {
@@ -196,6 +201,18 @@ func (f *LU) SolveInto(x, b []float64) []float64 {
 		x[i] = (x[i] - s) / row[0]
 	}
 	return x
+}
+
+// checkNoAlias panics when x and b share a backing array at index 0 —
+// the cheap exact test for the "x must not alias b" contract of the
+// SolveInto methods. Partial overlaps of distinct slices are not
+// detected (the check is one pointer comparison on the hot path), but
+// the reuse bug this guards against is passing the same workspace for
+// both arguments, which it catches exactly.
+func checkNoAlias(x, b []float64) {
+	if len(x) > 0 && len(b) > 0 && &x[0] == &b[0] {
+		panic("solver: SolveInto x aliases b")
+	}
 }
 
 // Det returns the determinant of the factored matrix.

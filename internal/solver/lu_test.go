@@ -302,3 +302,60 @@ func TestCMatrixZero(t *testing.T) {
 		t.Fatal("Zero failed")
 	}
 }
+
+// mustPanic asserts fn panics; the SolveInto alias guards are
+// programming-error checks, so they must fail loudly, not corrupt the
+// back-substitution silently.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: no panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestSolveIntoAliasPanics pins the x-must-not-alias-b contract of every
+// SolveInto in the package: back-substitution reads b while writing x,
+// so exact overlap silently corrupts the solution. The guard panics on
+// the detectable case (same first element) and distinct storage stays
+// allowed.
+func TestSolveIntoAliasPanics(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 3)
+	lu, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{1, 2}
+	mustPanic(t, "dense LU", func() { lu.SolveInto(v, v) })
+
+	pat := NewPattern(2)
+	pat.Mark(0, 0)
+	pat.Mark(0, 1)
+	pat.Mark(1, 0)
+	pat.Mark(1, 1)
+	slu := NewSparseLU(pat)
+	for i := 0; i < 2; i++ {
+		if _, err := slu.Refactor(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPanic(t, "sparse LU (armed)", func() { slu.SolveInto(v, v) })
+
+	us, err := NewUpdatedSolver(slu, m, LowRankUpdate{Terms: []UpdateTerm{{I: 0, J: 1, G: 0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic(t, "updated solver", func() { us.SolveInto(v, v) })
+
+	// Distinct slices of equal content must still be fine.
+	x := make([]float64, 2)
+	lu.SolveInto(x, v)
+	slu.SolveInto(x, v)
+	us.SolveInto(x, v)
+}

@@ -42,16 +42,10 @@ func (p *Pattern) Mark(i, j int) {
 // Has reports whether cell (i, j) is in the pattern.
 func (p *Pattern) Has(i, j int) bool { return p.nz[i*p.N+j] }
 
-// Count returns the number of marked cells.
-func (p *Pattern) Count() int {
-	n := 0
-	for _, b := range p.nz {
-		if b {
-			n++
-		}
-	}
-	return n
-}
+// Count returns the number of marked cells. Mark maintains idx
+// incrementally (one entry per first-time mark), so the count is just
+// its length — no n² scan.
+func (p *Pattern) Count() int { return len(p.idx) }
 
 // FactorPath reports which implementation a SparseLU.Refactor call used.
 type FactorPath int
@@ -481,14 +475,16 @@ func (s *SparseLU) refactorSparse(m *Matrix) (ok bool, failK int, failP int32, e
 
 // SolveInto solves A·x = b for the factored A into the caller-provided
 // x (len n), allocation-free; b is not modified and x must not alias
-// it. After a sparse factorisation the triangular solves run over the
-// symbolic structure only, which is bit-identical to the dense solve
-// (the skipped coefficients are ±0 and the partial sums they would
-// join are never -0).
+// it (panics on the exact-overlap case, like LU.SolveInto). After a
+// sparse factorisation the triangular solves run over the symbolic
+// structure only, which is bit-identical to the dense solve (the
+// skipped coefficients are ±0 and the partial sums they would join
+// are never -0).
 func (s *SparseLU) SolveInto(x, b []float64) []float64 {
 	if !s.lastSparse {
 		return s.dense.SolveInto(x, b)
 	}
+	checkNoAlias(x, b)
 	n := s.n
 	f := s.dense
 	lu := f.lu

@@ -349,3 +349,33 @@ func TestCLUSingular(t *testing.T) {
 		t.Fatalf("err = %v, want ErrSingular", err)
 	}
 }
+
+// TestPatternCountInterleavedDuplicates pins the incremental-index
+// contract behind Count: idx records each cell exactly once in
+// first-mark order, no matter how marks and duplicates interleave, so
+// Count (= len(idx)) matches the number of distinct marked cells — the
+// value the n²-scan definition would produce.
+func TestPatternCountInterleavedDuplicates(t *testing.T) {
+	p := NewPattern(5)
+	marks := [][2]int{
+		{0, 0}, {1, 3}, {0, 0}, {2, 2}, {1, 3}, {3, 1},
+		{2, 2}, {4, 4}, {0, 0}, {3, 1}, {0, 4}, {1, 3},
+	}
+	distinct := map[[2]int]bool{}
+	for step, mk := range marks {
+		p.Mark(mk[0], mk[1])
+		distinct[mk] = true
+		scan := 0
+		for i := 0; i < p.N; i++ {
+			for j := 0; j < p.N; j++ {
+				if p.Has(i, j) {
+					scan++
+				}
+			}
+		}
+		if p.Count() != scan || p.Count() != len(distinct) {
+			t.Fatalf("step %d: Count = %d, scan = %d, distinct = %d",
+				step, p.Count(), scan, len(distinct))
+		}
+	}
+}
