@@ -308,7 +308,7 @@ func coverageWithout(run *core.Run, drop string) float64 {
 // BenchmarkAblationSpice measures the raw analog fault-simulation cost:
 // one full two-cycle comparator transient per iteration.
 func BenchmarkAblationSpice(b *testing.B) {
-	m := macros.NewComparator()
+	m := macros.NewComparator(macros.DefaultVehicle())
 	opt := macros.RespondOpts{Var: macros.Nominal(), CurrentsOnly: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -402,8 +402,8 @@ func BenchmarkYieldAndDefectLevel(b *testing.B) {
 	proc := process.Default()
 	y := defectsim.NewYieldModel(120) // defects/cm²
 	for _, m := range []macros.Macro{
-		macros.NewComparator(), macros.NewLadder(), macros.NewBiasgen(),
-		macros.NewClockgen(), macros.NewDecoder(),
+		macros.NewComparator(macros.DefaultVehicle()), macros.NewLadder(macros.DefaultVehicle()), macros.NewBiasgen(macros.DefaultVehicle()),
+		macros.NewClockgen(macros.DefaultVehicle()), macros.NewDecoder(macros.DefaultVehicle()),
 	} {
 		y.AddMacro(context.Background(), m.Layout(false), proc, m.Count(), 4000, 1995)
 	}
@@ -423,7 +423,7 @@ func BenchmarkYieldAndDefectLevel(b *testing.B) {
 // comparator's amplify-path gain/bandwidth, which exposes clock-value
 // faults the simple DC tests miss.
 func BenchmarkExtensionACTest(b *testing.B) {
-	m := macros.NewComparator()
+	m := macros.NewComparator(macros.DefaultVehicle())
 	opt := macros.RespondOpts{Var: macros.Nominal()}
 	nom, err := m.AmplifierAC(context.Background(), nil, opt)
 	if err != nil {

@@ -29,7 +29,7 @@ func main() {
 	)
 	flag.Parse()
 
-	m := macros.NewComparator()
+	m := macros.NewComparator(macros.DefaultVehicle())
 	opt := macros.RespondOpts{Var: macros.Nominal()}
 	nom, err := m.AmplifierAC(context.Background(), nil, opt)
 	if err != nil {

@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	adcsim [-fault stuck|offset|tap|none] [-slice 128] [-mag 0.012] [-samples 1000]
+//	adcsim [-bits N] [-fault stuck|offset|tap|none] [-slice K] [-mag 0.012]
+//	       [-samples N]
+//
+// -bits selects the vehicle resolution (2^N comparator slices; default
+// 8). -slice -1 (the default) targets the mid-range slice of the chosen
+// vehicle; -samples 0 (the default) runs the vehicle's scaled
+// missing-code ramp.
 package main
 
 import (
@@ -21,14 +27,30 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adcsim: ")
 	var (
+		bits      = flag.Int("bits", macros.DefaultBits, "vehicle resolution in bits (2^N comparator slices)")
 		faultKind = flag.String("fault", "none", "behavioural fault: none, stuck, offset, tap")
-		slice     = flag.Int("slice", 128, "affected comparator slice")
+		slice     = flag.Int("slice", -1, "affected comparator slice (-1 = mid-range)")
 		mag       = flag.Float64("mag", 0.012, "fault magnitude (V) for offset/tap")
-		samples   = flag.Int("samples", 1000, "missing-code test samples")
+		samples   = flag.Int("samples", 0, "missing-code test samples (0 = vehicle default)")
 	)
 	flag.Parse()
 
-	a := adc.New(macros.NumComparators, macros.VRefLo, macros.VRefHi)
+	veh, err := macros.NewVehicle(*bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *slice < 0 {
+		*slice = veh.Comparators() / 2
+	}
+	if *slice >= veh.Comparators() {
+		log.Fatalf("slice %d out of range for the %s (%d slices)", *slice, veh, veh.Comparators())
+	}
+	plan := testgen.ForVehicle(veh)
+	if *samples > 0 {
+		plan.Samples = *samples
+	}
+
+	a := adc.New(veh.Comparators(), macros.VRefLo, macros.VRefHi)
 	switch *faultKind {
 	case "none":
 	case "stuck":
@@ -41,12 +63,12 @@ func main() {
 		log.Fatalf("unknown fault %q", *faultKind)
 	}
 
-	res := a.MissingCodeTest(macros.VRefLo, macros.VRefHi, *samples)
+	res := a.MissingCodeTest(macros.VRefLo, macros.VRefHi, plan.Samples)
 	fmt.Printf("missing-code test: %s\n", res)
 	if res.HasMissing() {
 		fmt.Printf("missing codes: %v\n", res.Missing)
 	}
 	inl, dnl := a.INLDNL(macros.VRefLo, macros.VRefHi)
 	fmt.Printf("INL = %.3f LSB, DNL = %.3f LSB\n", inl, dnl)
-	fmt.Printf("test plan: %s\n", testgen.Default())
+	fmt.Printf("test plan: %s\n", plan)
 }

@@ -7,10 +7,15 @@
 //
 // Usage:
 //
-//	campaign [-workers N] [-gsworkers N] [-checkpoint file] [-resume]
-//	         [-json-stats file] [-defects N] [-mag N] [-mc N] [-nsigma X]
-//	         [-seed S] [-dft pre|post|both] [-maxclasses N] [-quick]
-//	         [-json file] [-trace file.jsonl] [-v]
+//	campaign [-bits N] [-workers N] [-gsworkers N] [-checkpoint file]
+//	         [-resume] [-json-stats file] [-defects N] [-mag N] [-mc N]
+//	         [-nsigma X] [-seed S] [-dft pre|post|both] [-maxclasses N]
+//	         [-quick] [-json file] [-trace file.jsonl] [-v]
+//
+// -bits selects the vehicle: the N-bit member of the flash-converter
+// family (default 8, the paper's case study). The resolution is part of
+// the checkpoint fingerprint, so campaigns of different vehicles never
+// share a checkpoint.
 //
 // The good-space Monte Carlo is die-sharded and overlapped with the
 // campaign's sprinkle front half; -gsworkers bounds its worker group
@@ -46,6 +51,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/macros"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
@@ -72,6 +78,7 @@ func main() {
 	log.SetPrefix("campaign: ")
 
 	var (
+		bits       = flag.Int("bits", macros.DefaultBits, "vehicle resolution in bits (2^N comparators)")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		checkpoint = flag.String("checkpoint", "", "JSON checkpoint file (\"\" disables)")
 		resume     = flag.Bool("resume", false, "resume from the checkpoint, skipping finished units")
@@ -115,6 +122,11 @@ func main() {
 			}
 		})
 	}
+
+	if _, err := macros.NewVehicle(*bits); err != nil {
+		log.Fatal(err)
+	}
+	cfg.Bits = *bits
 
 	var dfts []bool
 	switch *dftMode {

@@ -119,6 +119,7 @@ func (c *client) submit(args []string) error {
 		quick      = fs.Bool("quick", false, "small, fast configuration")
 		dft        = fs.String("dft", "", "DfT setting: pre, post or both (default both)")
 		seed       = fs.Int64("seed", 0, "random seed (0 = server default)")
+		bits       = fs.Int("bits", 0, "vehicle resolution in bits (0 = server default 8-bit vehicle)")
 		defects    = fs.Int("defects", 0, "class-discovery sprinkle size per macro")
 		mag        = fs.Int("mag", 0, "magnitude sprinkle size")
 		mc         = fs.Int("mc", 0, "good-space Monte Carlo dies")
@@ -132,7 +133,7 @@ func (c *client) submit(args []string) error {
 	fs.Parse(args)
 
 	spec := core.JobSpec{
-		Quick: *quick, Seed: *seed, Defects: *defects, MagnitudeDefects: *mag,
+		Quick: *quick, Seed: *seed, Bits: *bits, Defects: *defects, MagnitudeDefects: *mag,
 		MCSamples: *mc, NSigma: *nsigma, MaxClassesPerMacro: *maxClasses,
 		SkipNonCat: *skipNonCat, DfT: *dft, Workers: *workers,
 	}

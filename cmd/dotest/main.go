@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	dotest [-defects N] [-mag N] [-mc N] [-seed S] [-macro name|all]
-//	       [-dft pre|post|both] [-maxclasses N] [-nsigma X] [-quick]
-//	       [-workers N] [-gsworkers N] [-trace file.jsonl]
+//	dotest [-bits N] [-defects N] [-mag N] [-mc N] [-seed S]
+//	       [-macro name|all] [-dft pre|post|both] [-maxclasses N]
+//	       [-nsigma X] [-quick] [-workers N] [-gsworkers N]
+//	       [-trace file.jsonl]
 //
 // With no flags it reproduces every experiment at full fidelity (several
-// minutes of CPU). -workers > 1 runs the per-macro sprinkles and
+// minutes of CPU). -bits selects the vehicle: the N-bit member of the
+// flash-converter family (2^N comparators and ladder segments; default 8,
+// the paper's case study). -workers > 1 runs the per-macro sprinkles and
 // per-class fault simulations on the parallel campaign engine; the
 // output is bit-identical to the serial run. For checkpoint/resume and
 // run metrics use cmd/campaign.
@@ -39,6 +42,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/macros"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
@@ -48,6 +52,7 @@ func main() {
 	log.SetPrefix("dotest: ")
 
 	var (
+		bits       = flag.Int("bits", macros.DefaultBits, "vehicle resolution in bits (2^N comparators)")
 		defects    = flag.Int("defects", 25000, "class-discovery sprinkle size per macro")
 		mag        = flag.Int("mag", 250000, "magnitude sprinkle size (0 = reuse discovery)")
 		mc         = flag.Int("mc", 80, "good-space Monte Carlo dies")
@@ -88,6 +93,10 @@ func main() {
 			}
 		})
 	}
+	if _, err := macros.NewVehicle(*bits); err != nil {
+		log.Fatal(err)
+	}
+	cfg.Bits = *bits
 	p := core.NewPipeline(cfg)
 	p.GoodSpaceWorkers = *gsworkers
 

@@ -38,15 +38,15 @@ func main() {
 	var m macros.Macro
 	switch *macroName {
 	case "comparator":
-		m = macros.NewComparator()
+		m = macros.NewComparator(macros.DefaultVehicle())
 	case "ladder":
-		m = macros.NewLadder()
+		m = macros.NewLadder(macros.DefaultVehicle())
 	case "biasgen":
-		m = macros.NewBiasgen()
+		m = macros.NewBiasgen(macros.DefaultVehicle())
 	case "clockgen":
-		m = macros.NewClockgen()
+		m = macros.NewClockgen(macros.DefaultVehicle())
 	case "decoder":
-		m = macros.NewDecoder()
+		m = macros.NewDecoder(macros.DefaultVehicle())
 	default:
 		log.Fatalf("unknown macro %q", *macroName)
 	}

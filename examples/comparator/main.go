@@ -27,7 +27,7 @@ func main() {
 	flag.Parse()
 
 	// Step 1+2: layout and defect simulation (the VLASIC equivalent).
-	cmp := macros.NewComparator()
+	cmp := macros.NewComparator(macros.DefaultVehicle())
 	cell := cmp.Layout(false)
 	fmt.Printf("comparator layout: %d shapes over %.0f µm²\n", len(cell.Shapes), cell.Area())
 	sim := defectsim.New(cell, process.Default())

@@ -60,8 +60,9 @@ func main() {
 	fmt.Println()
 
 	// Propagate a tap error into converter static performance.
-	a := adc.New(macros.NumComparators, macros.VRefLo, macros.VRefHi)
-	lsb := (macros.VRefHi - macros.VRefLo) / macros.NumComparators
+	veh := macros.DefaultVehicle()
+	a := adc.New(veh.Comparators(), macros.VRefLo, macros.VRefHi)
+	lsb := veh.LSB()
 	a.Taps[128] += 1.5 * lsb
 	inl, dnl := a.INLDNL(macros.VRefLo, macros.VRefHi)
 	res := a.MissingCodeTest(macros.VRefLo, macros.VRefHi, 1000)

@@ -1,5 +1,6 @@
-// Package adc provides the high-level (behavioural) model of the 8-bit
-// full-flash analog-to-digital converter used as the paper's vehicle. The
+// Package adc provides the high-level (behavioural) model of the N-bit
+// full-flash converter family whose 8-bit member is the paper's vehicle.
+// The
 // defect-oriented test path uses this model for the fault-signature
 // sensitisation/propagation step: a macro-level fault signature (a
 // comparator offset or stuck output, a shifted reference tap, a broken
@@ -48,9 +49,9 @@ type ADC struct {
 	pmax      []float64 // per-instance prefixMaxThresholds scratch
 }
 
-// New builds a fault-free n-tap ADC spanning [vlo, vhi]. With n = 256 this
-// is the paper's converter: 2^8 reference voltages and comparators, codes
-// 0..255.
+// New builds a fault-free n-tap ADC spanning [vlo, vhi]: n = 2^N for the
+// vehicle family (the paper's 8-bit converter has 2^8 reference voltages
+// and comparators, codes 0..2^8-1).
 func New(n int, vlo, vhi float64) *ADC {
 	a := &ADC{
 		Taps:  make([]float64, n),

@@ -1,6 +1,7 @@
 package adc
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"testing"
@@ -275,5 +276,56 @@ func TestTapSpacing(t *testing.T) {
 	}
 	if a.Codes() != 257 {
 		t.Fatalf("Codes = %d", a.Codes())
+	}
+}
+
+// TestFamilyInvariants pins the behavioural model's invariants across the
+// vehicle family — the model is size-parametric, so the properties the
+// 8-bit tests above rely on must hold at every resolution the campaign
+// can select.
+func TestFamilyInvariants(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			a := New(n, vlo, vhi)
+			if got := a.Codes(); got != n+1 {
+				t.Fatalf("Codes() = %d, want %d", got, n+1)
+			}
+			// Tap spacing is one LSB everywhere, with tap i at
+			// vlo + (i+0.5)·LSB.
+			lsb := (vhi - vlo) / float64(n)
+			for i, tap := range a.Taps {
+				want := vlo + (float64(i)+0.5)*lsb
+				if math.Abs(tap-want) > 1e-12 {
+					t.Fatalf("tap %d = %v, want %v", i, tap, want)
+				}
+			}
+			// Conversion clamps to the code range and is monotone on a
+			// fault-free converter.
+			if got := a.Convert(vlo - 1); got != 0 {
+				t.Fatalf("below-range code %d", got)
+			}
+			if got := a.Convert(vhi + 1); got != n {
+				t.Fatalf("above-range code %d", got)
+			}
+			// The ramp must cover every code when it carries at least a
+			// couple of samples per code (the campaign scales the
+			// stimulus with the vehicle — Vehicle.TestSamples).
+			samples := 4 * n
+			if samples < 1000 {
+				samples = 1000
+			}
+			if res := a.MissingCodeTest(vlo, vhi, samples); res.HasMissing() {
+				t.Fatalf("fault-free missing codes: %v", res.Missing)
+			}
+			// A stuck comparator anywhere in the array is detected.
+			for _, k := range []int{0, n / 2, n - 1} {
+				b := New(n, vlo, vhi)
+				b.Comps[k].Stuck = 1
+				if res := b.MissingCodeTest(vlo, vhi, samples); !res.HasMissing() {
+					t.Fatalf("stuck comparator %d undetected", k)
+				}
+			}
+		})
 	}
 }

@@ -105,6 +105,9 @@ func (s *Stats) Print(w io.Writer) {
 		if n := ss.Counters["goodspace_dies"]; n > 0 {
 			fmt.Fprintf(w, "  %d dies", n)
 		}
+		if n := ss.Counters["classes_truncated"]; n > 0 {
+			fmt.Fprintf(w, "  %d classes truncated (raise -maxclasses for full coverage)", n)
+		}
 		fmt.Fprintln(w)
 	}
 }

@@ -49,6 +49,11 @@ func StreamSeed(seed int64, labels ...string) int64 {
 
 // Config parameterises a methodology run.
 type Config struct {
+	// Bits selects the vehicle: the N-bit member of the flash-converter
+	// family (2^N comparators and ladder segments). 0 means the default
+	// 8-bit vehicle of the paper's case study — the zero value and an
+	// explicit 8 are the same campaign, and fingerprint identically.
+	Bits int
 	// Seed drives every Monte Carlo stage deterministically.
 	Seed int64
 	// Defects is the class-discovery sprinkle size per macro (the paper
@@ -70,6 +75,16 @@ type Config struct {
 	// classes are analysed in descending magnitude, and coverage is
 	// reported over the analysed population.
 	MaxClassesPerMacro int
+}
+
+// Vehicle resolves the configured vehicle spec (Bits == 0 is the default
+// 8-bit vehicle). The spec is not validated here — CLIs and JobSpec
+// validate before a pipeline is built.
+func (c Config) Vehicle() macros.Vehicle {
+	if c.Bits == 0 {
+		return macros.DefaultVehicle()
+	}
+	return macros.Vehicle{Bits: c.Bits}
 }
 
 // DefaultConfig returns the full-fidelity configuration.
@@ -195,6 +210,7 @@ type Pipeline struct {
 	// the merge is index-ordered.
 	GoodSpaceWorkers int
 
+	veh     macros.Vehicle
 	cmp     *macros.ComparatorMacro
 	ladder  *macros.LadderMacro
 	biasgen *macros.BiasgenMacro
@@ -222,16 +238,19 @@ type Pipeline struct {
 	base *macros.Baselines
 }
 
-// NewPipeline constructs the five-macro pipeline of the case study.
+// NewPipeline constructs the five-macro pipeline of the configured
+// vehicle (the paper's case study at the default 8-bit resolution).
 func NewPipeline(cfg Config) *Pipeline {
+	veh := cfg.Vehicle()
 	p := &Pipeline{
 		Cfg:       cfg,
 		Proc:      process.Default(),
-		cmp:       macros.NewComparator(),
-		ladder:    macros.NewLadder(),
-		biasgen:   macros.NewBiasgen(),
-		clock:     macros.NewClockgen(),
-		decoder:   macros.NewDecoder(),
+		veh:       veh,
+		cmp:       macros.NewComparator(veh),
+		ladder:    macros.NewLadder(veh),
+		biasgen:   macros.NewBiasgen(veh),
+		clock:     macros.NewClockgen(veh),
+		decoder:   macros.NewDecoder(veh),
 		nomParts:  map[bool]map[string]*signature.Response{},
 		good:      map[bool]*signature.GoodSpace{},
 		goodCalls: map[bool]*goodCall{},
@@ -310,8 +329,8 @@ func get(m, fb map[string]float64, k string) float64 {
 // Chipify combines macro-level current measurements into the circuit-edge
 // measurement vector. faultyMacro names the macro whose response `f`
 // replaces its nominal contribution ("" for the fault-free chip). A
-// comparator fault lives in one of the 256 slices; a bias-generator fault
-// shifts all of them.
+// comparator fault lives in one of the vehicle's 2^N slices; a
+// bias-generator fault shifts all of them.
 func (p *Pipeline) Chipify(parts map[string]*signature.Response, faultyMacro string, f *signature.Response) *signature.Response {
 	out := &signature.Response{Currents: map[string]float64{}}
 	cmpN := parts["comparator"].Currents
@@ -328,7 +347,7 @@ func (p *Pipeline) Chipify(parts map[string]*signature.Response, faultyMacro str
 	case "biasgen":
 		// The bias lines feed every slice.
 		cmpF = f.Currents
-		nFaulty = macros.NumComparators
+		nFaulty = float64(p.veh.Comparators())
 	case "ladder":
 		ladF = f.Currents
 	case "clockgen":
@@ -336,7 +355,7 @@ func (p *Pipeline) Chipify(parts map[string]*signature.Response, faultyMacro str
 	case "decoder":
 		decF = f.Currents
 	}
-	nNom := float64(macros.NumComparators) - nFaulty
+	nNom := float64(p.veh.Comparators()) - nFaulty
 
 	for _, ph := range []string{"samp", "amp", "latch"} {
 		for _, lvl := range []string{"lo", "hi"} {
@@ -589,6 +608,15 @@ func (p *Pipeline) DiscoverClasses(ctx context.Context, macroName string, dft bo
 			}
 			return classes[i].Fault.Key() < classes[j].Fault.Key()
 		})
+		sp.End()
+	}
+	// The analysis cap (Config.MaxClassesPerMacro) is applied later, in
+	// analysisTargets — but it is decided here, so this is where silent
+	// truncation is made loud: the counter records how many discovered
+	// classes will never be analysed.
+	if n := len(classes); p.Cfg.MaxClassesPerMacro > 0 && n > p.Cfg.MaxClassesPerMacro {
+		sp = p.Obs.Start(obs.StageCollapse, macroName, "truncate", dft, met)
+		met.Add(obs.CtrClassesTruncated, int64(n-p.Cfg.MaxClassesPerMacro))
 		sp.End()
 	}
 	run := &MacroRun{

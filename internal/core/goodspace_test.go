@@ -154,3 +154,49 @@ func TestGoodSpaceSingleFlight(t *testing.T) {
 		t.Fatalf("goodspace_dies counter = %d, want %d", got, cfg.MCSamples)
 	}
 }
+
+// TestClassTruncationCounter: when MaxClassesPerMacro drops discovered
+// classes, the pipeline must say so — the classes_truncated counter is
+// what keeps a capped campaign's coverage report from reading as full
+// coverage.
+func TestClassTruncationCounter(t *testing.T) {
+	cfg := core.QuickConfig()
+	cfg.Defects = 400
+	cfg.MaxClassesPerMacro = 1
+
+	agg := obs.NewAgg()
+	p := core.NewPipeline(cfg)
+	p.Obs = obs.New(agg)
+	// The decoder is gate-level: discovery is fast and yields well over
+	// one class at this sprinkle size.
+	run, err := p.DiscoverClasses(context.Background(), "decoder", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Classes) <= 1 {
+		t.Fatalf("test premise broken: %d classes discovered", len(run.Classes))
+	}
+	snap := agg.Snapshot()
+	var got int64
+	for _, st := range snap {
+		got += st.Counters["classes_truncated"]
+	}
+	want := int64(len(run.Classes) - 1)
+	if got != want {
+		t.Fatalf("classes_truncated = %d, want %d", got, want)
+	}
+
+	// Uncapped discovery must not emit the counter.
+	cfg.MaxClassesPerMacro = 0
+	agg2 := obs.NewAgg()
+	p2 := core.NewPipeline(cfg)
+	p2.Obs = obs.New(agg2)
+	if _, err := p2.DiscoverClasses(context.Background(), "decoder", false); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range agg2.Snapshot() {
+		if st.Counters["classes_truncated"] != 0 {
+			t.Fatal("uncapped discovery emitted classes_truncated")
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+
+	"repro/internal/macros"
 )
 
 // JobSpec parameterises one campaign job. The zero value of each field
@@ -23,6 +25,10 @@ type JobSpec struct {
 	Quick bool `json:"quick,omitempty"`
 	// Seed drives every Monte Carlo stage (0 = the default 1995).
 	Seed int64 `json:"seed,omitempty"`
+	// Bits selects the vehicle resolution (0 = the default 8-bit
+	// vehicle). Part of the fingerprint — resolved, so 0 and 8 dedup
+	// into the same job while any other resolution never does.
+	Bits int `json:"bits,omitempty"`
 	// Defects is the class-discovery sprinkle size per macro.
 	Defects int `json:"defects,omitempty"`
 	// MagnitudeDefects is the magnitude-pass sprinkle size.
@@ -56,6 +62,11 @@ func (s JobSpec) Validate() error {
 		s.NSigma < 0 || s.FloorA < 0 || s.MaxClassesPerMacro < 0 || s.Workers < 0 {
 		return fmt.Errorf("core: job spec fields must be non-negative")
 	}
+	if s.Bits != 0 {
+		if _, err := macros.NewVehicle(s.Bits); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -71,6 +82,9 @@ func (s JobSpec) Config() Config {
 	}
 	if s.Seed != 0 {
 		cfg.Seed = s.Seed
+	}
+	if s.Bits > 0 {
+		cfg.Bits = s.Bits
 	}
 	if s.Defects > 0 {
 		cfg.Defects = s.Defects

@@ -73,6 +73,12 @@ func TestJobSpecValidate(t *testing.T) {
 	if err := (JobSpec{Quick: true, DfT: "pre", Workers: 4}).Validate(); err != nil {
 		t.Fatal(err)
 	}
+	if err := (JobSpec{Bits: 3}).Validate(); err == nil {
+		t.Fatal("out-of-range vehicle resolution accepted")
+	}
+	if err := (JobSpec{Bits: 6}).Validate(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestJobSpecFingerprint: the job fingerprint keys the dedup — it must
@@ -96,6 +102,7 @@ func TestJobSpecFingerprint(t *testing.T) {
 		"dft":   {Quick: true, DfT: "both"},
 		"mc":    {Quick: true, DfT: "pre", MCSamples: 5},
 		"quick": {DfT: "pre"},
+		"bits":  {Quick: true, DfT: "pre", Bits: 6},
 	} {
 		if other.Fingerprint() == base.Fingerprint() {
 			t.Fatalf("%s change did not change the fingerprint", name)
@@ -108,5 +115,13 @@ func TestJobSpecFingerprint(t *testing.T) {
 	}
 	if JobID(base.Fingerprint()) == JobID((JobSpec{DfT: "pre"}).Fingerprint()) {
 		t.Fatal("different fingerprints produced the same job id")
+	}
+	// The vehicle resolution is fingerprinted resolved: an explicit
+	// default-bits submission dedups onto the unset-bits job, while any
+	// other vehicle never does.
+	withDefaultBits := base
+	withDefaultBits.Bits = 8
+	if base.Fingerprint() != withDefaultBits.Fingerprint() {
+		t.Fatal("explicit default bits split the dedup key")
 	}
 }

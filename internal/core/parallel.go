@@ -34,15 +34,16 @@ func classKey(macroName string, t AnalysisTarget) string {
 	return keyClass + macroName + "/" + strconv.Itoa(t.Index) + "/" + variant
 }
 
-// fingerprintV2 is the explicit wire form of the checkpoint fingerprint.
+// fingerprintV3 is the explicit wire form of the checkpoint fingerprint.
 // Every Config field is serialised under a stable key in this struct's
 // declaration order, so renaming or reordering Config fields cannot
 // silently change the fingerprint (and orphan valid checkpoints) the way
 // the old %+v formatting could. Adding a Config field that affects
 // results requires a deliberate edit here plus a version bump of
 // fingerprintVersion; TestFingerprintGolden pins the encoding.
-type fingerprintV2 struct {
+type fingerprintV3 struct {
 	Seed               int64   `json:"seed"`
+	Bits               int     `json:"bits"`
 	Defects            int     `json:"defects"`
 	MagnitudeDefects   int     `json:"magnitude_defects"`
 	MCSamples          int     `json:"mc_samples"`
@@ -53,15 +54,18 @@ type fingerprintV2 struct {
 	DfT                bool    `json:"dft"`
 }
 
-const fingerprintVersion = "core-campaign-v2"
+const fingerprintVersion = "core-campaign-v3"
 
 // Fingerprint identifies the configuration of a campaign checkpoint: a
 // checkpoint written under one fingerprint cannot resume a run with a
 // different configuration. The string is a canonical versioned JSON
-// encoding of the configuration (see fingerprintV2).
+// encoding of the configuration (see fingerprintV3). The vehicle is
+// fingerprinted resolved (Bits 0 and 8 are the same campaign), so a
+// 6-bit and an 8-bit submission can never share a checkpoint.
 func Fingerprint(cfg Config, dft bool) string {
-	data, err := json.Marshal(fingerprintV2{
+	data, err := json.Marshal(fingerprintV3{
 		Seed:               cfg.Seed,
+		Bits:               cfg.Vehicle().Bits,
 		Defects:            cfg.Defects,
 		MagnitudeDefects:   cfg.MagnitudeDefects,
 		MCSamples:          cfg.MCSamples,

@@ -34,22 +34,22 @@ func TestFingerprintGolden(t *testing.T) {
 	}{
 		{
 			"default", DefaultConfig(), false,
-			`core-campaign-v2|{"seed":1995,"defects":25000,"magnitude_defects":250000,"mc_samples":80,"n_sigma":3,"floor_a":0.000002,"skip_non_cat":false,"max_classes_per_macro":0,"dft":false}`,
+			`core-campaign-v3|{"seed":1995,"bits":8,"defects":25000,"magnitude_defects":250000,"mc_samples":80,"n_sigma":3,"floor_a":0.000002,"skip_non_cat":false,"max_classes_per_macro":0,"dft":false}`,
 		},
 		{
 			"default-dft", DefaultConfig(), true,
-			`core-campaign-v2|{"seed":1995,"defects":25000,"magnitude_defects":250000,"mc_samples":80,"n_sigma":3,"floor_a":0.000002,"skip_non_cat":false,"max_classes_per_macro":0,"dft":true}`,
+			`core-campaign-v3|{"seed":1995,"bits":8,"defects":25000,"magnitude_defects":250000,"mc_samples":80,"n_sigma":3,"floor_a":0.000002,"skip_non_cat":false,"max_classes_per_macro":0,"dft":true}`,
 		},
 		{
 			"quick", QuickConfig(), false,
-			`core-campaign-v2|{"seed":1995,"defects":4000,"magnitude_defects":0,"mc_samples":12,"n_sigma":3,"floor_a":0.000002,"skip_non_cat":false,"max_classes_per_macro":25,"dft":false}`,
+			`core-campaign-v3|{"seed":1995,"bits":8,"defects":4000,"magnitude_defects":0,"mc_samples":12,"n_sigma":3,"floor_a":0.000002,"skip_non_cat":false,"max_classes_per_macro":25,"dft":false}`,
 		},
 		{
 			// The CLI -mc/-nsigma overrides flow through these two fields;
 			// checkpoints taken under different good-space settings must
 			// carry distinct fingerprints.
 			"quick-mc-nsigma-override", overrideGoodSpace(QuickConfig(), 24, 4), false,
-			`core-campaign-v2|{"seed":1995,"defects":4000,"magnitude_defects":0,"mc_samples":24,"n_sigma":4,"floor_a":0.000002,"skip_non_cat":false,"max_classes_per_macro":25,"dft":false}`,
+			`core-campaign-v3|{"seed":1995,"bits":8,"defects":4000,"magnitude_defects":0,"mc_samples":24,"n_sigma":4,"floor_a":0.000002,"skip_non_cat":false,"max_classes_per_macro":25,"dft":false}`,
 		},
 	}
 	for _, tc := range cases {
@@ -91,15 +91,33 @@ func TestFingerprintGolden(t *testing.T) {
 }
 
 // TestFingerprintCoversEveryConfigField fails when a field is added to
-// Config without a matching entry in fingerprintV2, which would silently
+// Config without a matching entry in fingerprintV3, which would silently
 // allow checkpoints to resume across configurations that differ in the
 // new field.
 func TestFingerprintCoversEveryConfigField(t *testing.T) {
 	cfgFields := reflect.TypeOf(Config{}).NumField()
-	fpFields := reflect.TypeOf(fingerprintV2{}).NumField()
+	fpFields := reflect.TypeOf(fingerprintV3{}).NumField()
 	if fpFields != cfgFields+1 { // +1: the DfT flag
-		t.Fatalf("fingerprintV2 has %d fields for a Config with %d: update the encoding (and bump the version)",
+		t.Fatalf("fingerprintV3 has %d fields for a Config with %d: update the encoding (and bump the version)",
 			fpFields, cfgFields)
+	}
+}
+
+// TestFingerprintResolvesBits pins the resolved-vehicle rule: Bits 0 and
+// the explicit default must fingerprint identically (the zero value is
+// the 8-bit vehicle, not a distinct campaign), while any other
+// resolution must not collide with the default.
+func TestFingerprintResolvesBits(t *testing.T) {
+	base := DefaultConfig()
+	eight := base
+	eight.Bits = 8
+	if Fingerprint(base, false) != Fingerprint(eight, false) {
+		t.Error("Bits 0 and Bits 8 fingerprint differently: the default vehicle must resolve")
+	}
+	six := base
+	six.Bits = 6
+	if Fingerprint(six, false) == Fingerprint(base, false) {
+		t.Error("a 6-bit campaign shares the 8-bit fingerprint")
 	}
 }
 

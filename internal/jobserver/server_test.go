@@ -534,3 +534,54 @@ func TestResultWaitClientDisconnect(t *testing.T) {
 		t.Fatal("watcher result diverged after a concurrent canceled wait")
 	}
 }
+
+// TestVehicleSplitsJobs: two submissions identical except for the
+// vehicle resolution must get distinct job ids and must not single-flight
+// onto one run — a 6-bit campaign's results are not an 8-bit campaign's.
+func TestVehicleSplitsJobs(t *testing.T) {
+	srv, hs := newTestServer(t, Options{Budget: 2})
+
+	out8, code8 := postSpec(t, hs.URL, testSpec)
+	spec6 := testSpec
+	spec6.Bits = 6
+	out6, code6 := postSpec(t, hs.URL, spec6)
+	if code8 != http.StatusCreated || code6 != http.StatusCreated {
+		t.Fatalf("submit statuses %d/%d, want both 201", code8, code6)
+	}
+	if out8.ID == out6.ID {
+		t.Fatalf("6-bit and 8-bit submissions share job id %s", out8.ID)
+	}
+	if out8.Deduped || out6.Deduped {
+		t.Fatalf("vehicle-distinct submissions deduped: 8-bit=%v 6-bit=%v",
+			out8.Deduped, out6.Deduped)
+	}
+	// An explicit default-bits resubmission is the same campaign as the
+	// unset-bits one and must dedup onto it.
+	specDefault := testSpec
+	specDefault.Bits = 8
+	outDef, _ := postSpec(t, hs.URL, specDefault)
+	if outDef.ID != out8.ID || !outDef.Deduped {
+		t.Fatalf("explicit default bits did not dedup: id %s vs %s (deduped %v)",
+			outDef.ID, out8.ID, outDef.Deduped)
+	}
+
+	// The ids were the point — cancel both runs rather than simulating
+	// two campaigns to completion.
+	for _, id := range []string{out8.ID, out6.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/api/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		j, ok := srv.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(60 * time.Second):
+			t.Fatalf("cancel did not terminate job %s", id)
+		}
+	}
+}

@@ -162,7 +162,7 @@ func Cases() []Case {
 			}
 		}},
 		{Name: "tran/comparator-respond", Bench: func(b *testing.B) {
-			m := macros.NewComparator()
+			m := macros.NewComparator(macros.DefaultVehicle())
 			// The pool mirrors the campaign's steady state: the pipeline
 			// owns one, so repeated fault-free responses reuse a warm
 			// engine and only retune the input source.
@@ -204,11 +204,38 @@ func Cases() []Case {
 			// guard as well as a timing one — if the fast path silently
 			// starts falling back to the rebuild+refactor path, the case
 			// fails rather than just slowing down.
-			l := macros.NewLadder()
+			l := macros.NewLadder(macros.DefaultVehicle())
 			met := &obs.Metrics{}
 			opt := macros.RespondOpts{Var: macros.Nominal(),
 				Base: macros.NewBaselines(), Metrics: met}
 			f := &faults.Fault{Kind: faults.Short, Nets: []string{"t096", "t128"}, Res: 25}
+			if _, err := l.Respond(context.Background(), f, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Respond(context.Background(), f, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if n := met.Get(obs.CtrRank1Fallbacks); n != 0 {
+				b.Fatalf("rank1_fallbacks = %d, want 0: the update path regressed to the rebuild path", n)
+			}
+			if n := met.Get(obs.CtrRank1Solves); n < int64(b.N) {
+				b.Fatalf("rank1_solves = %d over %d timed ops", n, b.N)
+			}
+		}},
+		{Name: "rank1/ladder-update-6bit", Bench: func(b *testing.B) {
+			// The same fault-update quantum on the 6-bit vehicle (64
+			// segments instead of 256): tracks how the kernel scales
+			// with vehicle size, with the same fast-path guard.
+			l := macros.NewLadder(macros.Vehicle{Bits: 6})
+			met := &obs.Metrics{}
+			opt := macros.RespondOpts{Var: macros.Nominal(),
+				Base: macros.NewBaselines(), Metrics: met}
+			f := &faults.Fault{Kind: faults.Short, Nets: []string{"t016", "t032"}, Res: 25}
 			if _, err := l.Respond(context.Background(), f, opt); err != nil {
 				b.Fatal(err)
 			}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestAmplifierACNominal(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	res, err := m.AmplifierAC(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
@@ -25,7 +25,7 @@ func TestAmplifierACNominal(t *testing.T) {
 }
 
 func TestAmplifierACClockValueFaultDeviates(t *testing.T) {
-	m := NewComparatorWithRef(2.0)
+	m := NewComparatorWithRef(DefaultVehicle(), 2.0)
 	nom, err := m.AmplifierAC(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +64,7 @@ func TestACDeviatesPredicate(t *testing.T) {
 }
 
 func TestAmplifierACGainFaultVisible(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	nom, err := m.AmplifierAC(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)

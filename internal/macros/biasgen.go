@@ -14,14 +14,19 @@ import (
 // identical lines (vbn1/vbn2 and vbp1/vbp2). Its fault simulation is
 // performed through the comparator co-simulation testbench — a bias fault
 // matters exactly through its effect on the comparators it feeds — with
-// one crucial difference: a bias shift is common to all 256 slices, so an
-// offset signature is common-mode and does not cause missing codes.
+// one crucial difference: a bias shift is common to all of the vehicle's
+// 2^N slices, so an offset signature is common-mode and does not cause
+// missing codes.
 type BiasgenMacro struct {
+	// Veh is the vehicle spec (slice count for common-mode propagation).
+	Veh Vehicle
 	cmp *ComparatorMacro
 }
 
-// NewBiasgen returns the bias generator macro.
-func NewBiasgen() *BiasgenMacro { return &BiasgenMacro{cmp: NewComparator()} }
+// NewBiasgen returns the bias generator macro of the given vehicle.
+func NewBiasgen(veh Vehicle) *BiasgenMacro {
+	return &BiasgenMacro{Veh: veh, cmp: NewComparator(veh)}
+}
 
 // Name implements Macro.
 func (m *BiasgenMacro) Name() string { return "biasgen" }
@@ -38,7 +43,7 @@ func (m *BiasgenMacro) Respond(ctx context.Context, f *faults.Fault, opt Respond
 	// Bias deviations shift every slice identically.
 	if resp.Voltage == signature.VSigOffset || resp.Voltage == signature.VSigNone {
 		resp.CommonMode = true
-		resp.MissingCode = propagateSlice(resp)
+		resp.MissingCode = propagateSlice(m.Veh, resp)
 	}
 	return resp, nil
 }

@@ -18,10 +18,16 @@ import (
 // loaded distribution line clk. It is a digital cell: its quiescent
 // supply current is (near) zero in every static state, which is why the
 // paper found 93.8 % of its faults IDDQ-detectable.
-type ClockgenMacro struct{}
+// The cell itself is resolution-independent; the Veh field keeps the
+// constructor uniform across the macro family.
+type ClockgenMacro struct {
+	// Veh is the vehicle spec (unused by the circuit: one buffer chain
+	// per phase regardless of resolution).
+	Veh Vehicle
+}
 
-// NewClockgen returns the clock generator macro.
-func NewClockgen() *ClockgenMacro { return &ClockgenMacro{} }
+// NewClockgen returns the clock generator macro of the given vehicle.
+func NewClockgen(veh Vehicle) *ClockgenMacro { return &ClockgenMacro{Veh: veh} }
 
 // Name implements Macro.
 func (m *ClockgenMacro) Name() string { return "clockgen" }

@@ -22,6 +22,9 @@ import (
 // distribution lines behave realistically (the paper's 72.2 % cross-macro
 // faults).
 type ComparatorMacro struct {
+	// Veh is the vehicle spec: the instance count, the propagation
+	// model's slice count and the offset-detection budget derive from it.
+	Veh Vehicle
 	// VRef is the reference tap this slice compares against.
 	VRef float64
 
@@ -29,22 +32,23 @@ type ComparatorMacro struct {
 	offNom map[bool]float64 // design (fault-free) offset per DfT setting
 }
 
-// NewComparator returns the comparator macro with its mid-range reference.
-func NewComparator() *ComparatorMacro {
-	return NewComparatorWithRef((VRefLo + VRefHi) / 2)
+// NewComparator returns the comparator macro of the given vehicle with
+// its mid-range reference.
+func NewComparator(veh Vehicle) *ComparatorMacro {
+	return NewComparatorWithRef(veh, (VRefLo+VRefHi)/2)
 }
 
-// NewComparatorWithRef returns a comparator slice comparing against the
-// given reference tap voltage.
-func NewComparatorWithRef(vref float64) *ComparatorMacro {
-	return &ComparatorMacro{VRef: vref, offNom: map[bool]float64{}}
+// NewComparatorWithRef returns a comparator slice of the given vehicle
+// comparing against the given reference tap voltage.
+func NewComparatorWithRef(veh Vehicle, vref float64) *ComparatorMacro {
+	return &ComparatorMacro{Veh: veh, VRef: vref, offNom: map[bool]float64{}}
 }
 
 // nominalOffset returns the comparator's design offset (charge injection
 // and kickback are not perfectly balanced, exactly as in silicon). Fault
 // signatures are classified on the offset *deviation* from this value —
-// the systematic part is shared by all 256 slices and therefore part of
-// the good signature.
+// the systematic part is shared by all of the vehicle's slices and
+// therefore part of the good signature.
 func (m *ComparatorMacro) nominalOffset(ctx context.Context, dft bool) (float64, error) {
 	m.mu.Lock()
 	if off, ok := m.offNom[dft]; ok {
@@ -78,7 +82,7 @@ func (m *ComparatorMacro) nominalOffset(ctx context.Context, dft bool) (float64,
 func (m *ComparatorMacro) Name() string { return "comparator" }
 
 // Count implements Macro.
-func (m *ComparatorMacro) Count() int { return NumComparators }
+func (m *ComparatorMacro) Count() int { return m.Veh.Comparators() }
 
 // Layout implements Macro.
 func (m *ComparatorMacro) Layout(dft bool) *layout.Cell { return comparatorLayout(dft) }
@@ -221,7 +225,8 @@ func (m *ComparatorMacro) buildComparatorCircuit(vin float64, opt RespondOpts) *
 	// polarity (the second line trims the first), so every bias line
 	// carries real current into every slice — which is what makes the
 	// DfT-2 line re-ordering effective: post-DfT shorts land between
-	// n- and p-type lines and disturb all 256 slices measurably.
+	// n- and p-type lines and disturb every one of the vehicle's 2^N
+	// slices measurably.
 	b.MOS("m5", "tail", "vbn1", "0", "0", 16, 1, nm)
 	b.MOS("m5b", "tail", "vbn2", "0", "0", 4, 1, nm)
 	b.MOS("m3", "o1", "vbp1", "vdda", "vdda", 26, 1, pm)
@@ -471,7 +476,7 @@ func (m *ComparatorMacro) respondVariant(ctx context.Context, f *faults.Fault, o
 			}
 			resp.OffsetV = off - nomOff
 			switch {
-			case math.Abs(resp.OffsetV) > OffsetLimit:
+			case math.Abs(resp.OffsetV) > m.Veh.OffsetLimit():
 				resp.Voltage = signature.VSigOffset
 			case clockDeviant:
 				resp.Voltage = signature.VSigClock
@@ -486,17 +491,18 @@ func (m *ComparatorMacro) respondVariant(ctx context.Context, f *faults.Fault, o
 		// still reflected in the IDDQ measurements.
 		_ = clockDeviant
 	}
-	resp.MissingCode = propagateSlice(resp)
+	resp.MissingCode = propagateSlice(m.Veh, resp)
 	return resp, nil
 }
 
 // propagateSlice performs the sensitisation/propagation step for a
 // comparator-slice signature: plug the faulty slice (or, for common-mode
-// bias shifts, all slices) into the high-level ADC model and run the
-// circuit-edge missing-code test.
-func propagateSlice(resp *signature.Response) bool {
-	a := adc.New(NumComparators, VRefLo, VRefHi)
-	mid := NumComparators / 2
+// bias shifts, all of the vehicle's slices) into the high-level ADC
+// model and run the circuit-edge missing-code test.
+func propagateSlice(veh Vehicle, resp *signature.Response) bool {
+	n := veh.Comparators()
+	a := adc.New(n, VRefLo, VRefHi)
+	mid := n / 2
 	switch resp.Voltage {
 	case signature.VSigStuck:
 		a.Comps[mid].Stuck = resp.StuckVal
@@ -513,7 +519,7 @@ func propagateSlice(resp *signature.Response) bool {
 	default:
 		return false
 	}
-	return a.MissingCodeTest(VRefLo, VRefHi, 1000).HasMissing()
+	return a.MissingCodeTest(VRefLo, VRefHi, veh.TestSamples()).HasMissing()
 }
 
 // bisectOffset locates the comparator trip point (input-referred offset

@@ -11,7 +11,7 @@ import (
 )
 
 func TestComparatorFaultFreeDecisions(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	opt := RespondOpts{Var: Nominal()}
 	lo, err := m.runOnce(context.Background(), vinLow, nil, opt, 0)
 	if err != nil {
@@ -47,7 +47,7 @@ func TestComparatorFaultFreeDecisions(t *testing.T) {
 }
 
 func TestComparatorSmallInputResolved(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	opt := RespondOpts{Var: Nominal()}
 	// 4 mV above the design trip point must resolve to 1; 4 mV below
 	// to 0 (the trip point includes the systematic charge-injection
@@ -74,7 +74,7 @@ func TestComparatorSmallInputResolved(t *testing.T) {
 }
 
 func TestComparatorFaultFreeResponse(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	resp, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestComparatorFaultFreeResponse(t *testing.T) {
 	if resp.Voltage != signature.VSigNone {
 		t.Fatalf("fault-free voltage signature = %v (offset %.4g)", resp.Voltage, resp.OffsetV)
 	}
-	if math.Abs(resp.OffsetV) > OffsetLimit {
+	if math.Abs(resp.OffsetV) > DefaultVehicle().OffsetLimit() {
 		t.Fatalf("fault-free offset = %g", resp.OffsetV)
 	}
 	if len(resp.Currents) != 22 {
@@ -91,7 +91,7 @@ func TestComparatorFaultFreeResponse(t *testing.T) {
 }
 
 func TestComparatorDfTRemovesLeak(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	pre, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +107,7 @@ func TestComparatorDfTRemovesLeak(t *testing.T) {
 }
 
 func TestComparatorStuckFault(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	// A low-ohmic short from o1 to vss keeps o1 low: q reads 0, out
 	// stuck high.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"o1", "vss"}, Res: 0.2}
@@ -121,7 +121,7 @@ func TestComparatorStuckFault(t *testing.T) {
 }
 
 func TestComparatorSupplyShortDrawsCurrent(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	// A metal short across the slice supply rails: the canonical
 	// massive-IVdd defect.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"vdda", "vss"}, Res: 0.2}
@@ -140,7 +140,7 @@ func TestComparatorSupplyShortDrawsCurrent(t *testing.T) {
 }
 
 func TestComparatorClockShortRaisesIDDQ(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	// clk1-clk2 short: the two clock buffers fight in every phase.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"clk1", "clk2"}, Res: 0.2}
 	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal(), CurrentsOnly: true})
@@ -163,7 +163,7 @@ func TestComparatorClockShortRaisesIDDQ(t *testing.T) {
 }
 
 func TestComparatorBiasBiasShortSmallEffect(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	// The paper's hard case: a short between the two similar bias lines
 	// barely changes anything.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"vbn1", "vbn2"}, Res: 0.2}

@@ -17,26 +17,27 @@ import (
 
 // DecoderMacro is the digital thermometer-to-binary decoder: a one-hot
 // transition-detect stage (h_i = t_i AND NOT t_{i+1}) followed by an
-// OR-plane forming the 8 output bits — the gate-level equivalent of the
-// ROM decoder in the real converter. Being a digital cell it is analysed
+// OR-plane forming the vehicle's N output bits — the gate-level
+// equivalent of the ROM decoder in the real converter. Being a digital cell it is analysed
 // at gate level: shorts become bridging faults (with the classic IDDQ
 // observation when the bridged nets fight), opens become stuck-at faults,
 // and analog-leak defects (junction pinholes, parasitic devices) raise
 // IDDQ without a logic effect.
 type DecoderMacro struct {
+	// Veh is the vehicle spec: thermometer input count
+	// (Vehicle.DecoderInputs — t001..t(2^N-1); code 0 needs no input)
+	// and output width derive from it.
+	Veh Vehicle
 	ckt *digital.Circuit
 }
-
-// decoderInputs is the number of thermometer inputs.
-const decoderInputs = NumComparators - 1 // t001..t255; code 0 needs no input
 
 // tnet names thermometer input i (1-based).
 func tnet(i int) string { return fmt.Sprintf("t%03d", i) }
 
-// NewDecoder builds the decoder macro (the gate network is constructed
-// once and shared).
-func NewDecoder() *DecoderMacro {
-	return &DecoderMacro{ckt: buildDecoderCircuit()}
+// NewDecoder builds the decoder macro of the given vehicle (the gate
+// network is constructed once and shared).
+func NewDecoder(veh Vehicle) *DecoderMacro {
+	return &DecoderMacro{Veh: veh, ckt: buildDecoderCircuit(veh)}
 }
 
 // Name implements Macro.
@@ -46,28 +47,29 @@ func (m *DecoderMacro) Name() string { return "decoder" }
 func (m *DecoderMacro) Count() int { return 1 }
 
 // buildDecoderCircuit constructs the gate network.
-func buildDecoderCircuit() *digital.Circuit {
+func buildDecoderCircuit(veh Vehicle) *digital.Circuit {
+	inputs := veh.DecoderInputs()
 	c := &digital.Circuit{}
-	for i := 1; i <= decoderInputs; i++ {
+	for i := 1; i <= inputs; i++ {
 		c.Inputs = append(c.Inputs, tnet(i))
 	}
-	// Inverters for t2..t255.
-	for i := 2; i <= decoderInputs; i++ {
+	// Inverters for t2..t(2^N-1).
+	for i := 2; i <= inputs; i++ {
 		c.AddGate(fmt.Sprintf("inv%03d", i), digital.Not, fmt.Sprintf("n%03d", i), tnet(i))
 	}
 	// One-hot stage.
-	for i := 1; i <= decoderInputs; i++ {
+	for i := 1; i <= inputs; i++ {
 		h := fmt.Sprintf("h%03d", i)
-		if i == decoderInputs {
+		if i == inputs {
 			c.AddGate(fmt.Sprintf("and%03d", i), digital.Buf, h, tnet(i))
 		} else {
 			c.AddGate(fmt.Sprintf("and%03d", i), digital.And, h, tnet(i), fmt.Sprintf("n%03d", i+1))
 		}
 	}
 	// OR-plane: bit b = OR of h_i for every i with bit b set.
-	for bit := 0; bit < Bits; bit++ {
+	for bit := 0; bit < veh.Bits; bit++ {
 		var ins []string
-		for i := 1; i <= decoderInputs; i++ {
+		for i := 1; i <= inputs; i++ {
 			if i&(1<<bit) != 0 {
 				ins = append(ins, fmt.Sprintf("h%03d", i))
 			}
@@ -110,7 +112,7 @@ func buildOrTree(c *digital.Circuit, out string, ins []string) {
 // (comparators 1..k fire) and returns the output code.
 func (m *DecoderMacro) decode(k int, f digital.Fault) (int, bool, error) {
 	in := map[string]bool{}
-	for i := 1; i <= decoderInputs; i++ {
+	for i := 1; i <= m.Veh.DecoderInputs(); i++ {
 		in[tnet(i)] = i <= k
 	}
 	res, err := m.ckt.Eval(in, f)
@@ -118,7 +120,7 @@ func (m *DecoderMacro) decode(k int, f digital.Fault) (int, bool, error) {
 		return 0, false, err
 	}
 	code := 0
-	for bit := 0; bit < Bits; bit++ {
+	for bit := 0; bit < m.Veh.Bits; bit++ {
 		if res.Values[fmt.Sprintf("b%d", bit)] {
 			code |= 1 << bit
 		}
@@ -209,8 +211,8 @@ func (m *DecoderMacro) gateNets(dev string) (in, out string, ok bool) {
 }
 
 // Respond implements Macro: the missing-code test is run directly through
-// the gate network (256 thermometer patterns), and IDDQ is flagged when
-// any pattern drives a bridge to a conflict.
+// the gate network (all 2^N thermometer patterns of the vehicle), and
+// IDDQ is flagged when any pattern drives a bridge to a conflict.
 func (m *DecoderMacro) Respond(ctx context.Context, f *faults.Fault, opt RespondOpts) (*signature.Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -227,10 +229,10 @@ func (m *DecoderMacro) Respond(ctx context.Context, f *faults.Fault, opt Respond
 	}
 	sp.End()
 	sp = opt.span(obs.StageFaultSim, m.Name())
-	seen := make([]bool, NumComparators)
+	seen := make([]bool, m.Veh.Comparators())
 	iddq := false
 	erratic := false
-	for k := 0; k < NumComparators; k++ {
+	for k := 0; k < m.Veh.Comparators(); k++ {
 		if err := ctx.Err(); err != nil {
 			sp.End()
 			return nil, err
@@ -336,10 +338,13 @@ func (m *DecoderMacro) Layout(bool) *layout.Cell {
 	b.HWire(process.Metal2, "vddd", bounds.X0, bounds.X1, devY0+6)
 	b.HWire(process.Metal2, "vss", bounds.X0, bounds.X1, devY0+9)
 
-	for i := 1; i <= decoderInputs; i++ {
+	for i := 1; i <= m.Veh.DecoderInputs(); i++ {
 		b.C.MarkPort(tnet(i))
 	}
-	b.C.MarkPort("vddd", "vss", "b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7")
+	b.C.MarkPort("vddd", "vss")
+	for bit := 0; bit < m.Veh.Bits; bit++ {
+		b.C.MarkPort(fmt.Sprintf("b%d", bit))
+	}
 	return b.C
 }
 

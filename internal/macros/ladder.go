@@ -15,27 +15,23 @@ import (
 	"repro/internal/spice"
 )
 
-// LadderMacro is the reference resistor string: 256 matched polysilicon
-// segments between the external reference terminals, folded into a
-// serpentine so that physically adjacent runs are electrically many taps
-// apart (which is what makes its shorts so current-observable — the paper
-// found 99.8 % of ladder faults current-detectable). Each tap drives one
-// comparator slice.
-type LadderMacro struct{}
+// LadderMacro is the reference resistor string: the vehicle's 2^N
+// matched polysilicon segments between the external reference terminals,
+// folded into a serpentine so that physically adjacent runs are
+// electrically many taps apart (which is what makes its shorts so
+// current-observable — the paper found 99.8 % of ladder faults
+// current-detectable). Each tap drives one comparator slice.
+type LadderMacro struct {
+	// Veh is the vehicle spec: segment/tap count and nominal segment
+	// resistance (Vehicle.LadderSegments, Vehicle.RSeg) derive from it.
+	Veh Vehicle
+}
 
-// Ladder geometry/electrical constants.
-const (
-	// LadderSegments is the number of series resistors.
-	LadderSegments = NumComparators
-	// LadderRowLen is the number of segments per serpentine row.
-	LadderRowLen = 16
-	// RSeg is the nominal segment resistance (Ω); the full string is
-	// 2 kΩ, drawing ≈1 mA from the 2 V reference span.
-	RSeg = 8.0
-)
+// LadderRowLen is the number of segments per serpentine row.
+const LadderRowLen = 16
 
-// NewLadder returns the ladder macro.
-func NewLadder() *LadderMacro { return &LadderMacro{} }
+// NewLadder returns the ladder macro of the given vehicle.
+func NewLadder(veh Vehicle) *LadderMacro { return &LadderMacro{Veh: veh} }
 
 // Name implements Macro.
 func (l *LadderMacro) Name() string { return "ladder" }
@@ -43,17 +39,18 @@ func (l *LadderMacro) Name() string { return "ladder" }
 // Count implements Macro.
 func (l *LadderMacro) Count() int { return 1 }
 
-// tapName returns the canonical net name of tap k (0..LadderSegments).
+// tapName returns the canonical net name of tap k (0..segments).
 func tapName(k int) string { return fmt.Sprintf("t%03d", k) }
 
 // buildLadderCircuit constructs the resistor string with its reference
-// sources. Taps 0 and 256 are the external terminals.
+// sources. Taps 0 and 2^N are the external terminals.
 func (l *LadderMacro) buildLadderCircuit(v Variation) *netlist.Builder {
+	segs, rseg := l.Veh.LadderSegments(), l.Veh.RSeg()
 	b := netlist.NewBuilder()
-	b.Vsrc("vrefhi", tapName(LadderSegments), "0", netlist.DC(VRefHi))
+	b.Vsrc("vrefhi", tapName(segs), "0", netlist.DC(VRefHi))
 	b.Vsrc("vreflo", tapName(0), "0", netlist.DC(VRefLo))
-	for i := 0; i < LadderSegments; i++ {
-		b.R(fmt.Sprintf("r%03d", i), tapName(i), tapName(i+1), RSeg*v.RhoScale)
+	for i := 0; i < segs; i++ {
+		b.R(fmt.Sprintf("r%03d", i), tapName(i), tapName(i+1), rseg*v.RhoScale)
 	}
 	return b
 }
@@ -86,7 +83,7 @@ func (l *LadderMacro) solveTaps(ctx context.Context, f *faults.Fault, opt Respon
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	taps = make([]float64, LadderSegments+1)
+	taps = make([]float64, l.Veh.LadderSegments()+1)
 	for k := range taps {
 		taps[k] = sol.V(tapName(k))
 	}
@@ -139,7 +136,7 @@ func (l *LadderMacro) solveTapsUpdated(ctx context.Context, f *faults.Fault, opt
 		return nil, 0, 0, false, nil
 	}
 	opt.Metrics.Add(obs.CtrRank1Solves, 1)
-	taps = make([]float64, LadderSegments+1)
+	taps = make([]float64, l.Veh.LadderSegments()+1)
 	for k := range taps {
 		taps[k] = sol.V(tapName(k))
 	}
@@ -202,11 +199,12 @@ func (l *LadderMacro) Respond(ctx context.Context, f *faults.Fault, opt RespondO
 	csp := opt.span(obs.StageClassify, l.Name())
 	defer csp.End()
 	worst := 0.0
-	a := adc.New(NumComparators, VRefLo, VRefHi)
-	for k := 0; k < NumComparators; k++ {
+	n := l.Veh.Comparators()
+	a := adc.New(n, VRefLo, VRefHi)
+	for k := 0; k < n; k++ {
 		// Comparator k compares against tap k+... the behavioural
 		// model's tap i is the threshold of slice i; our string tap
-		// i+0 feeds slice i (taps 1..256 of the string used as
+		// i+0 feeds slice i (taps 1..2^N of the string used as
 		// thresholds would offset by half an LSB — immaterial for
 		// missing-code detection, we apply deviations).
 		dev := taps[k] - nomTaps[k]
@@ -216,10 +214,10 @@ func (l *LadderMacro) Respond(ctx context.Context, f *faults.Fault, opt RespondO
 		}
 	}
 	resp.OffsetV = worst
-	if a.MissingCodeTest(VRefLo, VRefHi, 1000).HasMissing() {
+	if a.MissingCodeTest(VRefLo, VRefHi, l.Veh.TestSamples()).HasMissing() {
 		resp.MissingCode = true
 		resp.Voltage = signature.VSigOffset
-		if worst > 10*LSB {
+		if worst > 10*l.Veh.LSB() {
 			resp.Voltage = signature.VSigStuck
 		}
 	} else {
@@ -236,7 +234,8 @@ func (l *LadderMacro) Layout(bool) *layout.Cell {
 	b.DefaultWidth = 1.2
 	const segLen = 6.0
 	const rowPitch = 4.0
-	rows := LadderSegments / LadderRowLen
+	segs := l.Veh.LadderSegments()
+	rows := segs / LadderRowLen
 	for r := 0; r < rows; r++ {
 		y := float64(r) * rowPitch
 		for s := 0; s < LadderRowLen; s++ {
@@ -266,12 +265,12 @@ func (l *LadderMacro) Layout(bool) *layout.Cell {
 	}
 	// Tap stubs: metal1 risers from every 4th tap junction (the layout
 	// abstraction of the tap lines leaving toward the comparators).
-	for k := 0; k <= LadderSegments; k += 4 {
+	for k := 0; k <= segs; k += 4 {
 		r := k / LadderRowLen
 		pos := k % LadderRowLen
 		var x float64
 		switch {
-		case k == LadderSegments:
+		case k == segs:
 			// The final tap sits at the left end of the last
 			// (odd) row.
 			r = rows - 1
@@ -286,9 +285,9 @@ func (l *LadderMacro) Layout(bool) *layout.Cell {
 		b.CutAt(process.Contact, net, x, y)
 		b.VWire(process.Metal1, net, x, y, y+2.5)
 	}
-	b.C.MarkPort(tapName(0), tapName(LadderSegments))
+	b.C.MarkPort(tapName(0), tapName(segs))
 	// Every tap drives a comparator, so tap nets are shared too.
-	for k := 0; k <= LadderSegments; k += 4 {
+	for k := 0; k <= segs; k += 4 {
 		b.C.MarkPort(tapName(k))
 	}
 	return b.C

@@ -19,23 +19,18 @@ import (
 	"repro/internal/spice"
 )
 
-// Electrical constants of the case-study converter.
+// Electrical constants shared by every member of the converter family.
+// The size-dependent quantities — comparator count, ladder segments,
+// LSB, offset budget — derive from the Vehicle spec (vehicle.go).
 const (
 	// VDD is the nominal supply voltage.
 	VDD = 5.0
-	// VRefLo and VRefHi bound the conversion range; with 256 taps the
-	// LSB is (VRefHi-VRefLo)/256 ≈ 7.8 mV — the paper's 8 mV offset
-	// threshold is exactly one LSB.
+	// VRefLo and VRefHi bound the conversion range; the LSB is the span
+	// divided by the vehicle's 2^N taps (Vehicle.LSB) — at the default
+	// 8-bit vehicle ≈7.8 mV, where the paper's 8 mV offset threshold is
+	// exactly one LSB (Vehicle.OffsetLimit).
 	VRefLo = 1.0
 	VRefHi = 3.0
-	// Bits of the converter.
-	Bits = 8
-	// NumComparators instantiated in the full flash ADC.
-	NumComparators = 256
-	// LSB voltage.
-	LSB = (VRefHi - VRefLo) / NumComparators
-	// OffsetLimit is the voltage-signature offset threshold (paper: 8 mV).
-	OffsetLimit = 8e-3
 )
 
 // Comparator phase timing for the three-phase clocking (sample, amplify,
@@ -77,8 +72,10 @@ const (
 	SigmaVdd = 0.02  // 2 % supply tolerance
 	SigmaRho = 0.01  // 1 % matched-resistor spread
 	// FFLeakNominal and FFLeakSigma set the per-slice flipflop leakage
-	// (A); at 256 slices, 3·σ·256 ≈ 15 mA — the paper's sampling-phase
-	// supply-current spread.
+	// (A); over the vehicle's 2^N slices the 3σ spread is 3·σ·2^N
+	// (≈15 mA at the default 8-bit vehicle) — the paper's
+	// sampling-phase supply-current spread. Vehicle.IDDQBudgetA derives
+	// the chip-level budget.
 	FFLeakNominal = 100e-6
 	FFLeakSigma   = 20e-6
 	// TempLo/TempHi bound the operating temperature range.
@@ -230,19 +227,22 @@ func responseScore(nom, r *signature.Response) float64 {
 }
 
 // BuildComparatorTestbench exposes the comparator co-simulation testbench
-// (slice + bias generator + clock buffers + sources) for netlist export
-// and external cross-checking. The input source sits at mid-range.
+// (slice + bias generator + clock buffers + sources) of the default
+// vehicle for netlist export and external cross-checking. The input
+// source sits at mid-range. (The slice netlist is vehicle-independent —
+// only the instance count scales with resolution.)
 func BuildComparatorTestbench(opt RespondOpts) *netlist.Builder {
-	return NewComparator().buildComparatorCircuit((VRefLo+VRefHi)/2, opt)
+	return NewComparator(DefaultVehicle()).buildComparatorCircuit((VRefLo+VRefHi)/2, opt)
 }
 
 // BuildClockgenTestbench exposes the standalone clock generator circuit
 // in the first one-hot state.
 func BuildClockgenTestbench(v Variation) *netlist.Builder {
-	return NewClockgen().buildClockgenCircuit([3]float64{1, 0, 0}, v)
+	return NewClockgen(DefaultVehicle()).buildClockgenCircuit([3]float64{1, 0, 0}, v)
 }
 
-// BuildLadderTestbench exposes the reference-ladder circuit.
+// BuildLadderTestbench exposes the default vehicle's reference-ladder
+// circuit.
 func BuildLadderTestbench(v Variation) *netlist.Builder {
-	return NewLadder().buildLadderCircuit(v)
+	return NewLadder(DefaultVehicle()).buildLadderCircuit(v)
 }

@@ -10,8 +10,8 @@ import (
 )
 
 func TestDecoderExhaustiveIdentity(t *testing.T) {
-	m := NewDecoder()
-	for k := 0; k < NumComparators; k++ {
+	m := NewDecoder(DefaultVehicle())
+	for k := 0; k < DefaultVehicle().Comparators(); k++ {
 		code, iddq, err := m.decode(k, faultNone())
 		if err != nil {
 			t.Fatal(err)
@@ -23,7 +23,7 @@ func TestDecoderExhaustiveIdentity(t *testing.T) {
 }
 
 func TestDecoderOpenMapsToStuck(t *testing.T) {
-	m := NewDecoder()
+	m := NewDecoder(DefaultVehicle())
 	f := &faults.Fault{Kind: faults.Open, Nets: []string{"h100"},
 		FarTerminals: []faults.Terminal{{Device: "b2_l0_0g", Net: "h100"}}}
 	df, ok := m.mapFault(f)
@@ -41,7 +41,7 @@ func TestDecoderOpenMapsToStuck(t *testing.T) {
 }
 
 func TestDecoderJunctionPinholeIDDQOnly(t *testing.T) {
-	m := NewDecoder()
+	m := NewDecoder(DefaultVehicle())
 	f := &faults.Fault{Kind: faults.JunctionPinholeKind, Nets: []string{"h005", "vss"}}
 	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
@@ -56,7 +56,7 @@ func TestDecoderJunctionPinholeIDDQOnly(t *testing.T) {
 }
 
 func TestComparatorGOSWorstCase(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	f := &faults.Fault{Kind: faults.GOSPinhole, Device: "m1"}
 	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
@@ -85,7 +85,7 @@ func TestComparatorGOSWorstCase(t *testing.T) {
 }
 
 func TestClockgenClockValueSignature(t *testing.T) {
-	m := NewClockgen()
+	m := NewClockgen(DefaultVehicle())
 	// A high-ohmic load on clk2 degrades its level without killing it:
 	// 2 kΩ to ground vs the big driver ⇒ a sagged high level.
 	f := &faults.Fault{Kind: faults.ThickOxPinhole, Nets: []string{"clk2", "vss"}}
@@ -103,7 +103,7 @@ func TestClockgenClockValueSignature(t *testing.T) {
 }
 
 func TestComparatorVinVrefShortIinput(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"vin", "vref"}, Res: 0.2}
 	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal(), CurrentsOnly: true})
 	if err != nil {
@@ -150,7 +150,7 @@ func TestLadderTapName(t *testing.T) {
 }
 
 func TestMacroInterfaces(t *testing.T) {
-	ms := []Macro{NewComparator(), NewLadder(), NewBiasgen(), NewClockgen(), NewDecoder()}
+	ms := []Macro{NewComparator(DefaultVehicle()), NewLadder(DefaultVehicle()), NewBiasgen(DefaultVehicle()), NewClockgen(DefaultVehicle()), NewDecoder(DefaultVehicle())}
 	names := map[string]bool{}
 	for _, m := range ms {
 		if m.Name() == "" || names[m.Name()] {
@@ -170,7 +170,7 @@ func TestMacroInterfaces(t *testing.T) {
 	}
 	// The comparator array dominates the chip area (paper: "most of the
 	// ADC area is covered by these cells").
-	cmpArea := float64(NumComparators) * NewComparator().Layout(false).Area()
+	cmpArea := float64(DefaultVehicle().Comparators()) * NewComparator(DefaultVehicle()).Layout(false).Area()
 	var rest float64
 	for _, m := range ms[1:] {
 		rest += float64(m.Count()) * m.Layout(false).Area()

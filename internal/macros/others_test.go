@@ -13,7 +13,7 @@ import (
 // --- Ladder ---
 
 func TestLadderFaultFree(t *testing.T) {
-	l := NewLadder()
+	l := NewLadder(DefaultVehicle())
 	resp, err := l.Respond(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
@@ -22,7 +22,7 @@ func TestLadderFaultFree(t *testing.T) {
 		t.Fatalf("fault-free ladder: %v missing=%v", resp.Voltage, resp.MissingCode)
 	}
 	// String current = 2 V / 2048 Ω ≈ 0.98 mA at both terminals.
-	want := (VRefHi - VRefLo) / (RSeg * LadderSegments)
+	want := (VRefHi - VRefLo) / (DefaultVehicle().RSeg() * float64(DefaultVehicle().LadderSegments()))
 	for _, k := range []string{"iin.vref.hi", "iin.vref.lo"} {
 		if got := resp.Currents[k]; math.Abs(got-want)/want > 0.02 {
 			t.Fatalf("%s = %g, want ≈%g", k, got, want)
@@ -31,7 +31,7 @@ func TestLadderFaultFree(t *testing.T) {
 }
 
 func TestLadderRhoScaleRatiometric(t *testing.T) {
-	l := NewLadder()
+	l := NewLadder(DefaultVehicle())
 	v := Nominal()
 	v.RhoScale = 1.05
 	resp, err := l.Respond(context.Background(), nil, RespondOpts{Var: v})
@@ -45,7 +45,7 @@ func TestLadderRhoScaleRatiometric(t *testing.T) {
 }
 
 func TestLadderAdjacentTapShortVoltageOnly(t *testing.T) {
-	l := NewLadder()
+	l := NewLadder(DefaultVehicle())
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{tapName(100), tapName(101)}, Res: 0.2}
 	resp, err := l.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
@@ -55,14 +55,14 @@ func TestLadderAdjacentTapShortVoltageOnly(t *testing.T) {
 		t.Fatal("adjacent-tap short must kill a code")
 	}
 	// Current change is 1 segment of 256: ~0.4 %, tiny.
-	nom := (VRefHi - VRefLo) / (RSeg * LadderSegments)
+	nom := (VRefHi - VRefLo) / (DefaultVehicle().RSeg() * float64(DefaultVehicle().LadderSegments()))
 	if d := math.Abs(resp.Currents["iin.vref.hi"]-nom) / nom; d > 0.01 {
 		t.Fatalf("adjacent short current delta = %.3f%%", d*100)
 	}
 }
 
 func TestLadderCrossRowShortBigCurrent(t *testing.T) {
-	l := NewLadder()
+	l := NewLadder(DefaultVehicle())
 	// Taps 32 apart (vertically adjacent serpentine rows) bypass 32
 	// segments: a 12.5 % resistance drop.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{tapName(96), tapName(128)}, Res: 0.2}
@@ -70,7 +70,7 @@ func TestLadderCrossRowShortBigCurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nom := (VRefHi - VRefLo) / (RSeg * LadderSegments)
+	nom := (VRefHi - VRefLo) / (DefaultVehicle().RSeg() * float64(DefaultVehicle().LadderSegments()))
 	if d := (resp.Currents["iin.vref.hi"] - nom) / nom; d < 0.10 {
 		t.Fatalf("cross-row short current delta = %.3f%%, want > 10%%", d*100)
 	}
@@ -80,7 +80,7 @@ func TestLadderCrossRowShortBigCurrent(t *testing.T) {
 }
 
 func TestLadderOpenKillsCurrent(t *testing.T) {
-	l := NewLadder()
+	l := NewLadder(DefaultVehicle())
 	f := &faults.Fault{
 		Kind: faults.Open, Nets: []string{tapName(50)},
 		FarTerminals: []faults.Terminal{{Device: "r050", Net: tapName(50)}},
@@ -89,7 +89,7 @@ func TestLadderOpenKillsCurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nom := (VRefHi - VRefLo) / (RSeg * LadderSegments)
+	nom := (VRefHi - VRefLo) / (DefaultVehicle().RSeg() * float64(DefaultVehicle().LadderSegments()))
 	if resp.Currents["iin.vref.hi"] > nom/2 {
 		t.Fatalf("open string current = %g, want collapsed", resp.Currents["iin.vref.hi"])
 	}
@@ -99,14 +99,14 @@ func TestLadderOpenKillsCurrent(t *testing.T) {
 }
 
 func TestLadderLayoutConnectivity(t *testing.T) {
-	cell := NewLadder().Layout(false)
+	cell := NewLadder(DefaultVehicle()).Layout(false)
 	comps := defectsim.CheckConnectivity(cell)
 	for net, n := range comps {
 		if n != 1 {
 			t.Errorf("net %q has %d components", net, n)
 		}
 	}
-	if len(comps) < LadderSegments {
+	if len(comps) < DefaultVehicle().LadderSegments() {
 		t.Fatalf("only %d nets in ladder layout", len(comps))
 	}
 }
@@ -114,7 +114,7 @@ func TestLadderLayoutConnectivity(t *testing.T) {
 // --- Clock generator ---
 
 func TestClockgenFaultFree(t *testing.T) {
-	m := NewClockgen()
+	m := NewClockgen(DefaultVehicle())
 	resp, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
@@ -131,7 +131,7 @@ func TestClockgenFaultFree(t *testing.T) {
 }
 
 func TestClockgenOutputRailShortStuck(t *testing.T) {
-	m := NewClockgen()
+	m := NewClockgen(DefaultVehicle())
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"clk1", "vss"}, Res: 0.2}
 	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
@@ -147,7 +147,7 @@ func TestClockgenOutputRailShortStuck(t *testing.T) {
 }
 
 func TestClockgenInternalBridgeIDDQ(t *testing.T) {
-	m := NewClockgen()
+	m := NewClockgen(DefaultVehicle())
 	// Bridge two internal chain nodes of different phases: they carry
 	// opposite values in the one-hot states.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"cg1_0", "cg2_0"}, Res: 0.2}
@@ -167,7 +167,7 @@ func TestClockgenInternalBridgeIDDQ(t *testing.T) {
 }
 
 func TestClockgenLayoutConnectivity(t *testing.T) {
-	cell := NewClockgen().Layout(false)
+	cell := NewClockgen(DefaultVehicle()).Layout(false)
 	for net, n := range defectsim.CheckConnectivity(cell) {
 		if n != 1 {
 			t.Errorf("net %q has %d components", net, n)
@@ -178,7 +178,7 @@ func TestClockgenLayoutConnectivity(t *testing.T) {
 // --- Bias generator ---
 
 func TestBiasgenFaultFree(t *testing.T) {
-	m := NewBiasgen()
+	m := NewBiasgen(DefaultVehicle())
 	resp, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
@@ -192,7 +192,7 @@ func TestBiasgenFaultFree(t *testing.T) {
 }
 
 func TestBiasgenBiasShortCommonModeUndetectable(t *testing.T) {
-	m := NewBiasgen()
+	m := NewBiasgen(DefaultVehicle())
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"vbn1", "vbn2"}, Res: 0.2}
 	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
@@ -204,7 +204,7 @@ func TestBiasgenBiasShortCommonModeUndetectable(t *testing.T) {
 }
 
 func TestBiasgenNPBiasShortDetectable(t *testing.T) {
-	m := NewBiasgen()
+	m := NewBiasgen(DefaultVehicle())
 	// The post-DfT adjacency: vbn1-vbp1 short ties 1.1 V to 3.9 V.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"vbn1", "vbp1"}, Res: 0.2}
 	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal(), CurrentsOnly: true})
@@ -230,15 +230,15 @@ func TestBiasgenNPBiasShortDetectable(t *testing.T) {
 
 func TestBiasgenLayout(t *testing.T) {
 	for _, dft := range []bool{false, true} {
-		cell := NewBiasgen().Layout(dft)
+		cell := NewBiasgen(DefaultVehicle()).Layout(dft)
 		for net, n := range defectsim.CheckConnectivity(cell) {
 			if n != 1 {
 				t.Errorf("dft=%v net %q has %d components", dft, net, n)
 			}
 		}
 	}
-	preX := biasLineX(t, NewBiasgen().Layout(false))
-	postX := biasLineX(t, NewBiasgen().Layout(true))
+	preX := biasLineX(t, NewBiasgen(DefaultVehicle()).Layout(false))
+	postX := biasLineX(t, NewBiasgen(DefaultVehicle()).Layout(true))
 	if !(preX["vbn1"] < preX["vbn2"] && preX["vbn2"] < preX["vbp1"]) {
 		t.Fatalf("pre order: %v", preX)
 	}
@@ -250,7 +250,7 @@ func TestBiasgenLayout(t *testing.T) {
 // --- Decoder ---
 
 func TestDecoderFaultFreeIdentity(t *testing.T) {
-	m := NewDecoder()
+	m := NewDecoder(DefaultVehicle())
 	for _, k := range []int{0, 1, 2, 64, 127, 128, 200, 255} {
 		code, iddq, err := m.decode(k, faultNone())
 		if err != nil {
@@ -266,7 +266,7 @@ func TestDecoderFaultFreeIdentity(t *testing.T) {
 }
 
 func TestDecoderRespondFaultFree(t *testing.T) {
-	m := NewDecoder()
+	m := NewDecoder(DefaultVehicle())
 	resp, err := m.Respond(context.Background(), nil, RespondOpts{Var: Nominal()})
 	if err != nil {
 		t.Fatal(err)
@@ -280,7 +280,7 @@ func TestDecoderRespondFaultFree(t *testing.T) {
 }
 
 func TestDecoderStuckInputMissingCode(t *testing.T) {
-	m := NewDecoder()
+	m := NewDecoder(DefaultVehicle())
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{tnet(100), "vddd"}, Res: 0.2}
 	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
@@ -295,7 +295,7 @@ func TestDecoderStuckInputMissingCode(t *testing.T) {
 }
 
 func TestDecoderBridgeIDDQ(t *testing.T) {
-	m := NewDecoder()
+	m := NewDecoder(DefaultVehicle())
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"h100", "h101"}, Res: 0.2}
 	resp, err := m.Respond(context.Background(), f, RespondOpts{Var: Nominal()})
 	if err != nil {
@@ -307,7 +307,7 @@ func TestDecoderBridgeIDDQ(t *testing.T) {
 }
 
 func TestDecoderLayoutHasTracksAndDevices(t *testing.T) {
-	m := NewDecoder()
+	m := NewDecoder(DefaultVehicle())
 	cell := m.Layout(false)
 	if len(cell.Shapes) < 5000 {
 		t.Fatalf("decoder layout too small: %d shapes", len(cell.Shapes))
@@ -318,7 +318,7 @@ func TestDecoderLayoutHasTracksAndDevices(t *testing.T) {
 }
 
 func TestDecoderGateNets(t *testing.T) {
-	m := NewDecoder()
+	m := NewDecoder(DefaultVehicle())
 	in, out, ok := m.gateNets("inv100.n")
 	if !ok || in != tnet(100) || out != "n100" {
 		t.Fatalf("gateNets = %q %q %v", in, out, ok)

@@ -15,7 +15,7 @@ import (
 // fault-free comparator response served from a warm pooled engine must be
 // bit-for-bit the response a fresh engine produces.
 func TestPooledRespondBitIdentical(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	ctx := context.Background()
 	fresh, err := m.Respond(ctx, nil, RespondOpts{Var: Nominal(), CurrentsOnly: true})
 	if err != nil {
@@ -47,7 +47,7 @@ func TestPooledRespondBitIdentical(t *testing.T) {
 // topology is rewritten by injection) nor check its own engine in, and a
 // fault-free run after it must still see an unpoisoned pool.
 func TestFaultyRespondBypassesPool(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	ctx := context.Background()
 	pool := NewEnginePool()
 	opt := RespondOpts{Var: Nominal(), CurrentsOnly: true, Pool: pool}
@@ -117,7 +117,7 @@ func respCloseTo(a, b *signature.Response, rel float64) bool {
 // path), the hit must be counted, and faulty results must never poison
 // the fault-free cache.
 func TestLadderBaselineCacheBitIdentical(t *testing.T) {
-	l := NewLadder()
+	l := NewLadder(DefaultVehicle())
 	ctx := context.Background()
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"t096", "t128"}, Res: 25}
 
@@ -192,7 +192,7 @@ func TestLadderBaselineCacheBitIdentical(t *testing.T) {
 // second pinhole analysis must hit the cache and return the identical
 // worst-case signature.
 func TestComparatorGOSBaselineCache(t *testing.T) {
-	m := NewComparator()
+	m := NewComparator(DefaultVehicle())
 	ctx := context.Background()
 	f := &faults.Fault{Kind: faults.GOSPinhole, Device: "m1"}
 

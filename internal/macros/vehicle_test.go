@@ -1,0 +1,80 @@
+package macros
+
+import "testing"
+
+// TestVehicleDefaultReproducesHistoricalConstants pins the bit-identity
+// contract of the refactor: every derived quantity of the 8-bit vehicle
+// must equal the former package constant exactly (==, not within an
+// epsilon) — the campaign's byte-identity at the default resolution
+// depends on it.
+func TestVehicleDefaultReproducesHistoricalConstants(t *testing.T) {
+	v := DefaultVehicle()
+	if v.Bits != 8 {
+		t.Fatalf("default bits %d", v.Bits)
+	}
+	if got := v.Comparators(); got != 256 {
+		t.Fatalf("Comparators() = %d", got)
+	}
+	if got := v.LadderSegments(); got != 256 {
+		t.Fatalf("LadderSegments() = %d", got)
+	}
+	if got := v.DecoderInputs(); got != 255 {
+		t.Fatalf("DecoderInputs() = %d", got)
+	}
+	if got := v.LSB(); got != 2.0/256 {
+		t.Fatalf("LSB() = %v, want %v exactly", got, 2.0/256)
+	}
+	if got := v.OffsetLimit(); got != 8e-3 {
+		t.Fatalf("OffsetLimit() = %v, want 8e-3 exactly", got)
+	}
+	if got := v.RSeg(); got != 8.0 {
+		t.Fatalf("RSeg() = %v, want 8 exactly", got)
+	}
+	if got := v.TestSamples(); got != 1000 {
+		t.Fatalf("TestSamples() = %d, want the paper's 1000", got)
+	}
+}
+
+// TestVehicleScaling checks the family derivations at non-default
+// members.
+func TestVehicleScaling(t *testing.T) {
+	cases := []struct {
+		bits, comps, samples int
+		rseg                 float64
+	}{
+		{4, 16, 1000, 128},
+		{6, 64, 1000, 32},
+		{8, 256, 1000, 8},
+		{10, 1024, 4000, 2},
+		{12, 4096, 16000, 0.5},
+	}
+	for _, tc := range cases {
+		v, err := NewVehicle(tc.bits)
+		if err != nil {
+			t.Fatalf("bits %d: %v", tc.bits, err)
+		}
+		if v.Comparators() != tc.comps {
+			t.Errorf("bits %d: Comparators() = %d, want %d", tc.bits, v.Comparators(), tc.comps)
+		}
+		if v.TestSamples() != tc.samples {
+			t.Errorf("bits %d: TestSamples() = %d, want %d", tc.bits, v.TestSamples(), tc.samples)
+		}
+		if v.RSeg() != tc.rseg {
+			t.Errorf("bits %d: RSeg() = %v, want %v", tc.bits, v.RSeg(), tc.rseg)
+		}
+		// The serpentine layout needs whole rows.
+		if v.LadderSegments()%LadderRowLen != 0 {
+			t.Errorf("bits %d: %d segments not a multiple of the row length", tc.bits, v.LadderSegments())
+		}
+		// The test ramp must keep at least two samples per code, or
+		// fault-free converters would fail their own missing-code test.
+		if v.TestSamples() < 2*v.Comparators() {
+			t.Errorf("bits %d: %d samples for %d codes", tc.bits, v.TestSamples(), v.Comparators())
+		}
+	}
+	for _, bad := range []int{0, 3, 13, -1} {
+		if _, err := NewVehicle(bad); err == nil {
+			t.Errorf("bits %d accepted", bad)
+		}
+	}
+}

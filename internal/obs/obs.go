@@ -91,6 +91,10 @@ const (
 	// but fell back to the classic rebuild: topology-changing models,
 	// ill-conditioned corrections, non-convergence.
 	CtrRank1Fallbacks
+	// CtrClassesTruncated counts discovered fault classes dropped by
+	// Config.MaxClassesPerMacro before analysis — non-zero means the
+	// coverage figures describe a truncated class population.
+	CtrClassesTruncated
 
 	// NumCounters is the size of a Metrics block.
 	NumCounters
@@ -109,6 +113,7 @@ var counterNames = [NumCounters]string{
 	"goodspace_dies",
 	"rank1_solves",
 	"rank1_fallbacks",
+	"classes_truncated",
 }
 
 // Name returns the canonical (JSON) name of the counter.

@@ -10,6 +10,8 @@ package testgen
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/macros"
 )
 
 // Plan describes the simple production test of the paper.
@@ -36,6 +38,16 @@ func Default() Plan {
 		CurrentMeasurements: 6,
 		SettleTime:          100 * time.Microsecond,
 	}
+}
+
+// ForVehicle returns the test plan of the given vehicle: the default
+// plan with the missing-code stimulus scaled to the vehicle's resolution
+// (Vehicle.TestSamples — the paper's 1 000 conversions at the 8-bit
+// member, proportionally longer above so every code stays reachable).
+func ForVehicle(v macros.Vehicle) Plan {
+	p := Default()
+	p.Samples = v.TestSamples()
+	return p
 }
 
 // MissingCodeTime returns the duration of the missing-code test.

@@ -7,7 +7,10 @@
 # Stages:
 #   1. gofmt -l        — formatting drift fails the build
 #   2. grep-lint       — no context.TODO() / bare time.Now() in the
-#                        deterministic pipeline paths
+#                        deterministic pipeline paths, and no new bare
+#                        256/NumComparators vehicle constants in
+#                        internal/macros or internal/adc outside the
+#                        vehicle spec
 #   3. go build / vet  — compile + static checks, whole tree
 #   4. staticcheck     — when the binary is on PATH (skipped with a notice
 #                        otherwise; the container does not ship it)
@@ -23,7 +26,11 @@
 #                        beyond 0.1% (exactly zero for the deterministic
 #                        kernel cases) fails, so machine noise passes but
 #                        a reverted kernel optimisation does not
-#   8. campaignd smoke — (skipped with SHORT=1) start the job server,
+#   8. vehicle smoke   — a quick 6-bit campaign runs the full
+#                        sprinkle→collapse→inject→classify→detect flow
+#                        (runs under SHORT=1 too: it is the only stage
+#                        covering a non-default vehicle end-to-end)
+#   9. campaignd smoke — (skipped with SHORT=1) start the job server,
 #                        submit a -quick job over HTTP, stream it to
 #                        completion, verify the result bytes are
 #                        identical to a direct `dotest -quick` run, and
@@ -54,6 +61,17 @@ if [ -n "$lint" ]; then
 	exit 1
 fi
 
+# Vehicle-constant lint: the resolution-dependent sizes derive from
+# macros.Vehicle; a fresh bare 256 (or a resurrected NumComparators)
+# in the macro or behavioural-ADC layers would silently pin a consumer
+# back to the 8-bit case. The spec itself and tests are excluded.
+vlint=$(grep -rn --include='*.go' 	--exclude='*_test.go' --exclude='vehicle.go' 	-e '\b256\b' -e 'NumComparators' 	internal/macros/ internal/adc/ 2>/dev/null || true)
+if [ -n "$vlint" ]; then
+	echo "grep-lint: bare 256/NumComparators in vehicle-parameterised layers (use macros.Vehicle):" >&2
+	echo "$vlint" >&2
+	exit 1
+fi
+
 short=${SHORT:+-short}
 
 go build ./...
@@ -69,6 +87,14 @@ go test $short -shuffle=on ./...
 go test $short -race ./...
 go test -bench=. -benchtime=1x ./...
 go run ./cmd/benchkernel -benchtime 100ms -check BENCH_kernel.json
+
+# Vehicle smoke: the non-default 6-bit vehicle must complete the whole
+# methodology (layout → sprinkle → collapse → inject → classify →
+# detect). Quick config, pre-DfT only, classes capped — this is a
+# does-it-run gate, not a coverage measurement. Kept under SHORT=1: no
+# other stage exercises a non-default vehicle end-to-end.
+go run ./cmd/dotest -quick -bits 6 -dft pre -maxclasses 4 >/dev/null
+echo "tier1: 6-bit vehicle smoke passed"
 
 # Campaignd smoke: the service path must be byte-identical to the CLI.
 # A job submitted over HTTP runs the same quick configuration as a
