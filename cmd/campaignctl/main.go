@@ -11,6 +11,7 @@
 //	campaignctl [-server URL] result  <job-id> [-dft pre|post] [-o file]
 //	campaignctl [-server URL] cancel  <job-id>
 //	campaignctl [-server URL] jobs
+//	campaignctl [-server URL] workers
 //	campaignctl [-server URL] checkpoints
 //
 // submit prints the job id on stdout (and with -wait streams the job's
@@ -41,7 +42,7 @@ func main() {
 
 	server := flag.String("server", "http://127.0.0.1:8120", "campaignd base URL")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: campaignctl [-server URL] submit|status|watch|result|cancel|jobs|checkpoints ...")
+		fmt.Fprintln(os.Stderr, "usage: campaignctl [-server URL] submit|status|watch|result|cancel|jobs|workers|checkpoints ...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,6 +66,8 @@ func main() {
 		err = c.cancel(args)
 	case "jobs":
 		err = c.jobs()
+	case "workers":
+		err = c.workers()
 	case "checkpoints":
 		err = c.checkpoints()
 	default:
@@ -285,6 +288,35 @@ func (c *client) jobs() error {
 		return err
 	}
 	os.Stdout.Write(data)
+	return nil
+}
+
+// workers prints the daemon's remote-worker registry, one line per
+// worker: id, liveness, lifetime totals and the units currently held.
+func (c *client) workers() error {
+	data, err := c.get("/api/v1/workers")
+	if err != nil {
+		return err
+	}
+	var ws []jobserver.WorkerStatus
+	if err := json.Unmarshal(data, &ws); err != nil {
+		return err
+	}
+	if len(ws) == 0 {
+		fmt.Println("no workers have connected")
+		return nil
+	}
+	for _, w := range ws {
+		state := "idle"
+		switch {
+		case len(w.Units) > 0:
+			state = fmt.Sprintf("working on %s", strings.Join(w.Units, ", "))
+		case w.Waiting:
+			state = "waiting for work"
+		}
+		fmt.Printf("%s\tlast seen %dms ago\t%d leased / %d results / %d expired\t%s\n",
+			w.ID, w.LastSeenMillis, w.Leased, w.Results, w.Expired, state)
+	}
 	return nil
 }
 

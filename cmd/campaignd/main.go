@@ -10,7 +10,16 @@
 // Usage:
 //
 //	campaignd [-addr host:port] [-addrfile file] [-store dir]
-//	          [-budget N] [-grace dur]
+//	          [-objstore URL] [-budget N] [-grace dur]
+//	          [-remoteslots N] [-leasettl dur]
+//
+// Remote campaignw workers connect over the lease protocol and add
+// execution capacity beyond -budget: up to -remoteslots units at a time
+// are leased out to parked workers, heartbeat-renewed, and re-queued
+// locally if a worker goes silent for -leasettl. -objstore replaces the
+// directory checkpoint store with an HTTP object bucket (see the
+// README's "Scaling out across machines"), so a daemon restarted on a
+// different machine still resumes its jobs.
 //
 // See the README's "Running as a service" section for the HTTP API and
 // cmd/campaignctl for the matching client.
@@ -49,17 +58,28 @@ func main() {
 // deferred cleanups actually run.
 func run() int {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8120", "listen address (host:port; port 0 picks a free port)")
-		addrFile = flag.String("addrfile", "", "write the resolved listen address to this file (for scripts using port 0)")
-		storeDir = flag.String("store", "", "checkpoint directory; \"\" disables checkpoint/resume")
-		budget   = flag.Int("budget", 0, "global worker budget shared across jobs (0 = GOMAXPROCS)")
-		grace    = flag.Duration("grace", 60*time.Second, "graceful-shutdown budget for draining jobs")
+		addr        = flag.String("addr", "127.0.0.1:8120", "listen address (host:port; port 0 picks a free port)")
+		addrFile    = flag.String("addrfile", "", "write the resolved listen address to this file (for scripts using port 0)")
+		storeDir    = flag.String("store", "", "checkpoint directory; \"\" disables checkpoint/resume")
+		objStore    = flag.String("objstore", "", "checkpoint object-bucket base URL (overrides -store)")
+		budget      = flag.Int("budget", 0, "global worker budget shared across jobs (0 = GOMAXPROCS)")
+		remoteSlots = flag.Int("remoteslots", 0, "units leasable to remote campaignw workers at a time (0 = default, negative disables)")
+		leaseTTL    = flag.Duration("leasettl", 0, "remote lease lifetime between heartbeats (0 = default)")
+		grace       = flag.Duration("grace", 60*time.Second, "graceful-shutdown budget for draining jobs")
 	)
 	flag.Parse()
 
-	opts := jobserver.Options{Budget: *budget, Logf: log.Printf}
+	opts := jobserver.Options{
+		Budget:      *budget,
+		RemoteSlots: *remoteSlots,
+		LeaseTTL:    *leaseTTL,
+		Logf:        log.Printf,
+	}
 	if *storeDir != "" {
 		opts.Store = campaign.DirStore{Dir: *storeDir}
+	}
+	if *objStore != "" {
+		opts.Store = campaign.NewHTTPObjectStore(*objStore)
 	}
 	srv := jobserver.New(opts)
 

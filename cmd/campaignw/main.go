@@ -1,0 +1,87 @@
+// Command campaignw is a remote campaign worker for campaignd: point it
+// at a daemon and it long-polls for campaign units, executes them on a
+// locally reconstructed pipeline, and streams the results back over the
+// lease protocol. Results are byte-identical to local execution — the
+// daemon merges worker results through the same decode path as
+// checkpoint restores — so adding workers changes wall-clock time and
+// nothing else.
+//
+// Usage:
+//
+//	campaignw -addr URL [-id name] [-job id] [-slots N] [-wait dur]
+//
+// The worker heartbeats each lease; if it dies, the daemon re-queues
+// the unit locally after one lease TTL. SIGINT or SIGTERM stops
+// gracefully: in-flight leases are released so the daemon re-queues
+// them immediately, and the process exits with status 130.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/worker"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaignw: ")
+	os.Exit(run())
+}
+
+// run is main without os.Exit, so deferred cleanups actually run.
+func run() int {
+	var (
+		addr  = flag.String("addr", "", "daemon base URL (e.g. http://127.0.0.1:8120; required)")
+		id    = flag.String("id", "", "worker id (default w-<pid>)")
+		job   = flag.String("job", "", "lease only from this job id (default: any job)")
+		slots = flag.Int("slots", 1, "units executed concurrently")
+		wait  = flag.Duration("wait", 30*time.Second, "lease long-poll bound")
+		quiet = flag.Bool("q", false, "suppress per-unit log lines")
+	)
+	flag.Parse()
+	if *addr == "" {
+		log.Print("missing -addr (daemon base URL)")
+		flag.Usage()
+		return 2
+	}
+	if *id == "" {
+		*id = fmt.Sprintf("w-%d", os.Getpid())
+	}
+	opts := worker.Options{
+		Base:  *addr,
+		ID:    *id,
+		Job:   *job,
+		Slots: *slots,
+		Wait:  *wait,
+		Logf:  log.Printf,
+	}
+	if *quiet {
+		opts.Logf = nil
+	}
+	w, err := worker.New(opts)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("worker %s: leasing from %s (slots %d)", *id, *addr, *slots)
+	w.Run(ctx)
+	stop()
+
+	st := w.Stats()
+	log.Printf("worker %s: done (%d leased, %d results, %d failed, %d abandoned, %d released)",
+		*id, st.Leased, st.Results, st.Failed, st.Abandoned, st.Released)
+	if ctx.Err() != nil {
+		return 130
+	}
+	return 0
+}

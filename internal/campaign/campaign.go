@@ -65,6 +65,12 @@ type Options struct {
 	// FairGate interleave unit-granular work fairly instead of
 	// oversubscribing the machine.
 	Gate Gate
+	// Executor, when non-nil, is offered every live unit before local
+	// execution (see Executor). Remote execution happens outside the
+	// Gate — a unit running on another machine consumes no local slot —
+	// and requires Decode, which rebuilds the typed result from the
+	// remotely marshalled JSON just as it rebuilds checkpoint payloads.
+	Executor Executor
 	// Resume loads the checkpoint before executing and skips every unit
 	// whose result it already holds.
 	Resume bool

@@ -1,0 +1,37 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+)
+
+// Executor is the remote-dispatch seam of the engine: when one is
+// configured, every live (non-restored) unit is offered to it before it
+// is executed locally. The unit's JSON result travels back exactly as a
+// checkpoint payload would — Options.Decode rebuilds the typed result —
+// so a remotely executed campaign stays byte-identical to a local one:
+// the checkpoint payload format is the wire format.
+//
+// Execute's three-way contract:
+//
+//   - ok=true, err=nil: the unit ran remotely; raw is its marshalled
+//     result, to be decoded through Options.Decode. The engine records
+//     it exactly as if runShielded had produced it.
+//   - ok=false, err=nil: the executor declined the unit (no remote
+//     capacity, a lease expired under a dead worker, a previously
+//     failing key) — the engine runs the unit locally. Declining is
+//     always safe: it is the guarantee that a dead worker can never
+//     lose work, only hand it back.
+//   - err != nil: the unit failed remotely (or the campaign context was
+//     cancelled mid-dispatch). The engine treats this like a local unit
+//     error: bounded retry, then recorded as failed.
+//
+// Execute is called concurrently from engine worker goroutines and may
+// block for the full duration of the remote execution; it is invoked
+// before the admission Gate is acquired, so a remotely executing unit
+// never consumes a local worker slot — that is what turns remote
+// workers into extra capacity instead of a different queue for the
+// same budget.
+type Executor interface {
+	Execute(ctx context.Context, u Unit) (raw json.RawMessage, ok bool, err error)
+}

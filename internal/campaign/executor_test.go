@@ -1,0 +1,167 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type execResult struct {
+	N      int    `json:"n"`
+	Origin string `json:"origin"`
+}
+
+func decodeExecResult(key string, raw json.RawMessage) (any, error) {
+	var r execResult
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// scriptedExecutor implements Executor from a per-key script.
+type scriptedExecutor struct {
+	mu sync.Mutex
+	// accept maps keys the executor runs "remotely"; the value is the
+	// result it fabricates. Unknown keys are declined (ok=false).
+	accept map[string]execResult
+	// fail maps keys to how many times Execute errors before declining.
+	fail  map[string]int
+	calls atomic.Int64
+}
+
+func (x *scriptedExecutor) Execute(ctx context.Context, u Unit) (json.RawMessage, bool, error) {
+	x.calls.Add(1)
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if n := x.fail[u.Key]; n > 0 {
+		x.fail[u.Key] = n - 1
+		return nil, false, errors.New("remote execution failed")
+	}
+	if r, ok := x.accept[u.Key]; ok {
+		raw, err := json.Marshal(&r)
+		return raw, true, err
+	}
+	return nil, false, nil
+}
+
+func execUnits(n int) []Unit {
+	var roots []Unit
+	for i := 0; i < n; i++ {
+		i := i
+		roots = append(roots, Unit{
+			Key:   fmt.Sprintf("u/%d", i),
+			Group: "g",
+			Run: func(context.Context) (any, error) {
+				return &execResult{N: i, Origin: "local"}, nil
+			},
+		})
+	}
+	return roots
+}
+
+// TestExecutorRemoteAndLocalMerge: units the executor accepts come back
+// with the remote payload decoded through the restored-unit path; units
+// it declines run locally; the merged result set is complete either
+// way.
+func TestExecutorRemoteAndLocalMerge(t *testing.T) {
+	x := &scriptedExecutor{accept: map[string]execResult{
+		"u/1": {N: 1, Origin: "remote"},
+		"u/3": {N: 3, Origin: "remote"},
+	}}
+	out, err := Execute(context.Background(), Options{
+		Workers: 3, Decode: decodeExecResult, Executor: x,
+	}, execUnits(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Completed != 5 || out.Stats.Failed != 0 {
+		t.Fatalf("stats %+v", out.Stats)
+	}
+	want := map[string]string{"u/0": "local", "u/1": "remote", "u/2": "local", "u/3": "remote", "u/4": "local"}
+	got := map[string]string{}
+	for k, v := range out.Results {
+		r := v.(*execResult)
+		got[k] = r.Origin
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("origins = %v, want %v", got, want)
+	}
+}
+
+// TestExecutorRemoteErrorRetries: a remote unit failure is a unit error
+// — the engine's bounded retry re-runs it (and, with the executor now
+// declining, the retry lands locally), so a flaky worker degrades to
+// local execution instead of failing the campaign.
+func TestExecutorRemoteErrorRetries(t *testing.T) {
+	x := &scriptedExecutor{fail: map[string]int{"u/0": 1}}
+	out, err := Execute(context.Background(), Options{
+		Workers: 2, Decode: decodeExecResult, Executor: x,
+	}, execUnits(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Completed != 2 || out.Stats.Retries != 1 {
+		t.Fatalf("stats %+v", out.Stats)
+	}
+	if r := out.Results["u/0"].(*execResult); r.Origin != "local" {
+		t.Fatalf("u/0 origin %q, want local retry", r.Origin)
+	}
+}
+
+// TestExecutorDecodeFailure: an undecodable remote payload is a unit
+// error (version skew must be loud), consumed by the bounded retry.
+func TestExecutorDecodeFailure(t *testing.T) {
+	bad := &scriptedExecutor{accept: map[string]execResult{}}
+	x := executorFunc(func(ctx context.Context, u Unit) (json.RawMessage, bool, error) {
+		bad.calls.Add(1)
+		if bad.calls.Load() == 1 {
+			return json.RawMessage(`{"n": "not a number"}`), true, nil
+		}
+		return nil, false, nil
+	})
+	out, err := Execute(context.Background(), Options{
+		Workers: 1, Decode: decodeExecResult, Executor: x,
+	}, execUnits(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Retries != 1 || out.Stats.Completed != 1 {
+		t.Fatalf("stats %+v", out.Stats)
+	}
+}
+
+// TestExecutorRestoredBypass: restored units never reach the executor —
+// a checkpoint hit costs microseconds, not a lease.
+func TestExecutorRestoredBypass(t *testing.T) {
+	st := DirStore{Dir: t.TempDir()}
+	opts := Options{Workers: 2, Store: st, Fingerprint: "exec-restore", Decode: decodeExecResult}
+	if _, err := Execute(context.Background(), opts, execUnits(4)); err != nil {
+		t.Fatal(err)
+	}
+	x := &scriptedExecutor{}
+	opts.Resume = true
+	opts.Executor = x
+	out, err := Execute(context.Background(), opts, execUnits(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Restored != 4 {
+		t.Fatalf("restored %d, want 4", out.Stats.Restored)
+	}
+	if n := x.calls.Load(); n != 0 {
+		t.Fatalf("executor saw %d calls for restored units", n)
+	}
+}
+
+// executorFunc adapts a function to Executor.
+type executorFunc func(ctx context.Context, u Unit) (json.RawMessage, bool, error)
+
+func (f executorFunc) Execute(ctx context.Context, u Unit) (json.RawMessage, bool, error) {
+	return f(ctx, u)
+}

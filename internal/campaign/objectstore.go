@@ -1,0 +1,275 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNoObject is returned by ObjectAPI.Get for an absent key.
+var ErrNoObject = errors.New("campaign: no such object")
+
+// ObjectAPI is the minimal S3-shaped object interface the checkpoint
+// layer needs: whole-object Get/Put plus a prefix List. It is
+// deliberately tiny — any blob service (S3, GCS, MinIO, a bucket
+// gateway) can be adapted without a cloud SDK dependency, and the tests
+// run against the in-memory ObjectHandler over httptest. Put replaces
+// the whole object: implementations must make the replacement atomic
+// (a Get concurrent with a Put returns either the old or the new bytes,
+// never a torn mix), which is all the checkpoint writer requires —
+// per-fingerprint writes are already serialised by the engine, so
+// cross-process last-writer-wins is the intended semantics.
+type ObjectAPI interface {
+	// Get returns the object's bytes (ErrNoObject when absent).
+	Get(key string) ([]byte, error)
+	// Put stores data under key, replacing any previous object.
+	Put(key string, data []byte) error
+	// List returns the keys under prefix, sorted.
+	List(prefix string) ([]string, error)
+}
+
+// ObjectStore is the checkpoint Store over an ObjectAPI: one object per
+// configuration fingerprint, content-addressed exactly like DirStore
+// (sha256(fingerprint)[:16] + ".ckpt.json"), so a daemon and its remote
+// workers can share checkpoints without a shared filesystem — point
+// both at the same bucket.
+type ObjectStore struct {
+	// API is the object backend.
+	API ObjectAPI
+	// Prefix namespaces the checkpoint objects inside the bucket
+	// (e.g. "campaigns/"). Empty is the bucket root.
+	Prefix string
+}
+
+// String names the store in engine errors.
+func (s ObjectStore) String() string {
+	if n, ok := s.API.(fmt.Stringer); ok {
+		return n.String() + "/" + s.Prefix
+	}
+	return "object:" + s.Prefix
+}
+
+// key maps a fingerprint to its content address inside the bucket.
+func (s ObjectStore) key(fingerprint string) string {
+	return s.Prefix + contentAddress(fingerprint)
+}
+
+// Load reads the checkpoint stored for fingerprint (nil when absent),
+// cross-checking the stored fingerprint against the address like
+// DirStore does.
+func (s ObjectStore) Load(fingerprint string) (*Checkpoint, error) {
+	data, err := s.API.Get(s.key(fingerprint))
+	if errors.Is(err, ErrNoObject) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: get checkpoint object: %w", err)
+	}
+	ck, err := parseCheckpoint(data, s.key(fingerprint))
+	if err != nil {
+		return nil, err
+	}
+	if ck.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("campaign: checkpoint object %s holds fingerprint %q, not the %q it is addressed by",
+			s.key(fingerprint), ck.Fingerprint, fingerprint)
+	}
+	return ck, nil
+}
+
+// Save persists ck under its fingerprint's address. Atomicity is the
+// backend's whole-object replace; per-fingerprint writes are serialised
+// by the engine, and concurrent writers of the same fingerprint are
+// last-writer-wins — both hold the same completed results, so either
+// winning is a valid checkpoint.
+func (s ObjectStore) Save(ck *Checkpoint) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal checkpoint: %w", err)
+	}
+	if err := s.API.Put(s.key(ck.Fingerprint), data); err != nil {
+		return fmt.Errorf("campaign: put checkpoint object: %w", err)
+	}
+	return nil
+}
+
+// List enumerates the stored fingerprints, sorted. Torn or foreign
+// objects are skipped, matching DirStore.
+func (s ObjectStore) List() ([]string, error) {
+	keys, err := s.API.List(s.Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: list checkpoint objects: %w", err)
+	}
+	var out []string
+	for _, k := range keys {
+		if !strings.HasSuffix(k, ckptExt) {
+			continue
+		}
+		data, err := s.API.Get(k)
+		if err != nil {
+			continue // deleted between List and Get, or unreadable
+		}
+		ck, err := parseCheckpoint(data, k)
+		if err != nil {
+			continue
+		}
+		out = append(out, ck.Fingerprint)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// HTTPObjects is an ObjectAPI over a plain HTTP object dialect:
+//
+//	GET    {base}/{key}          → 200 body | 404
+//	PUT    {base}/{key}          → 2xx
+//	GET    {base}/?prefix={p}    → 200 JSON array of keys, sorted
+//
+// ObjectHandler serves exactly this dialect, so a daemon and its
+// workers can share checkpoints through any process that mounts one —
+// and an S3-compatible gateway exposing path-style objects works the
+// same way.
+type HTTPObjects struct {
+	// Base is the bucket base URL, without a trailing slash.
+	Base string
+	// Client overrides the HTTP client (nil selects a 30 s-timeout
+	// default — a checkpoint write must never hang the engine).
+	Client *http.Client
+}
+
+// String names the backend in store errors.
+func (o HTTPObjects) String() string { return o.Base }
+
+func (o HTTPObjects) client() *http.Client {
+	if o.Client != nil {
+		return o.Client
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Get implements ObjectAPI.
+func (o HTTPObjects) Get(key string) ([]byte, error) {
+	resp, err := o.client().Get(o.Base + "/" + key)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, ErrNoObject
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("campaign: object get %s: %s", key, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Put implements ObjectAPI.
+func (o HTTPObjects) Put(key string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, o.Base+"/"+key, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	resp, err := o.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("campaign: object put %s: %s", key, resp.Status)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// List implements ObjectAPI.
+func (o HTTPObjects) List(prefix string) ([]string, error) {
+	resp, err := o.client().Get(o.Base + "/?prefix=" + prefix)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("campaign: object list: %s", resp.Status)
+	}
+	var keys []string
+	if err := json.NewDecoder(resp.Body).Decode(&keys); err != nil {
+		return nil, fmt.Errorf("campaign: object list: %w", err)
+	}
+	return keys, nil
+}
+
+// NewHTTPObjectStore builds the checkpoint Store over the HTTP object
+// dialect at base (see HTTPObjects).
+func NewHTTPObjectStore(base string) ObjectStore {
+	return ObjectStore{API: HTTPObjects{Base: strings.TrimRight(base, "/")}}
+}
+
+// ObjectHandler is an in-memory object bucket serving the HTTPObjects
+// dialect: the httptest-backed fake of the store tests, and a
+// self-hostable shared checkpoint bucket for a daemon plus workers on
+// machines without a shared filesystem. Writes replace whole objects
+// under one lock, so readers never observe torn objects; List returns
+// sorted keys for deterministic enumeration.
+type ObjectHandler struct {
+	mu      sync.Mutex
+	objects map[string][]byte
+}
+
+// NewObjectHandler returns an empty in-memory bucket.
+func NewObjectHandler() *ObjectHandler {
+	return &ObjectHandler{objects: map[string][]byte{}}
+}
+
+// Len reports the number of stored objects.
+func (h *ObjectHandler) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.objects)
+}
+
+// ServeHTTP implements the object dialect.
+func (h *ObjectHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/")
+	switch {
+	case r.Method == http.MethodGet && key == "":
+		prefix := r.URL.Query().Get("prefix")
+		h.mu.Lock()
+		keys := make([]string, 0, len(h.objects))
+		for k := range h.objects {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
+		}
+		h.mu.Unlock()
+		sort.Strings(keys)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(keys)
+	case r.Method == http.MethodGet:
+		h.mu.Lock()
+		data, ok := h.objects[key]
+		h.mu.Unlock()
+		if !ok {
+			http.Error(w, "no such object", http.StatusNotFound)
+			return
+		}
+		w.Write(data)
+	case r.Method == http.MethodPut:
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		h.mu.Lock()
+		h.objects[key] = data
+		h.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}

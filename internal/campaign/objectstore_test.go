@@ -1,0 +1,227 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// newObjectStore spins an in-memory bucket behind httptest and returns
+// the Store over it — the "no cloud SDK" fake of the S3-shaped backend.
+func newObjectStore(t *testing.T) (ObjectStore, *ObjectHandler) {
+	t.Helper()
+	h := NewObjectHandler()
+	hs := httptest.NewServer(h)
+	t.Cleanup(hs.Close)
+	return NewHTTPObjectStore(hs.URL), h
+}
+
+// TestObjectStoreRoundtrip: the object backend keys checkpoints by
+// fingerprint, keeps independent configurations apart, and lists them
+// all sorted — the same contract as DirStore, over HTTP.
+func TestObjectStoreRoundtrip(t *testing.T) {
+	st, h := newObjectStore(t)
+	if fps, err := st.List(); err != nil || fps != nil {
+		t.Fatalf("empty bucket: %v, %v", fps, err)
+	}
+	if ck, err := st.Load("cfg-a"); err != nil || ck != nil {
+		t.Fatalf("missing object: ck=%v err=%v", ck, err)
+	}
+	for _, fp := range []string{"cfg-b", "cfg-a"} {
+		ck := &Checkpoint{Version: checkpointVersion, Fingerprint: fp, Units: 1,
+			Results: map[string]json.RawMessage{"u": json.RawMessage(`{"fp":"` + fp + `"}`)}}
+		if err := st.Save(ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 2 {
+		t.Fatalf("bucket holds %d objects, want 2", h.Len())
+	}
+	out, err := st.Load("cfg-a")
+	if err != nil || out == nil || out.Fingerprint != "cfg-a" {
+		t.Fatalf("load cfg-a: %+v, %v", out, err)
+	}
+	if string(out.Results["u"]) != `{"fp":"cfg-a"}` {
+		t.Fatalf("payload %s", out.Results["u"])
+	}
+	fps, err := st.List()
+	if err != nil || !reflect.DeepEqual(fps, []string{"cfg-a", "cfg-b"}) {
+		t.Fatalf("list = %v, %v", fps, err)
+	}
+}
+
+// TestObjectStoreAddressMismatch: an object whose stored fingerprint
+// disagrees with its content address is corruption, not a configuration
+// change.
+func TestObjectStoreAddressMismatch(t *testing.T) {
+	st, _ := newObjectStore(t)
+	data, _ := json.Marshal(&Checkpoint{Version: checkpointVersion, Fingerprint: "cfg-b"})
+	if err := st.API.Put(st.key("cfg-a"), data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("cfg-a"); err == nil || !strings.Contains(err.Error(), "addressed by") {
+		t.Fatalf("want address-mismatch error, got %v", err)
+	}
+}
+
+// TestObjectStoreVersionGuard mirrors the file-backed stores: a foreign
+// on-wire format refuses to load, and List skips it instead of failing
+// the enumeration.
+func TestObjectStoreVersionGuard(t *testing.T) {
+	st, _ := newObjectStore(t)
+	if err := st.API.Put(st.key("cfg-x"), []byte(`{"version":99,"fingerprint":"cfg-x"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("cfg-x"); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+	good := &Checkpoint{Version: checkpointVersion, Fingerprint: "cfg-ok"}
+	if err := st.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	fps, err := st.List()
+	if err != nil || !reflect.DeepEqual(fps, []string{"cfg-ok"}) {
+		t.Fatalf("list = %v, %v", fps, err)
+	}
+}
+
+// TestExecuteWithObjectStore: a campaign checkpoints through the object
+// backend and a second campaign resumes from it without re-running any
+// unit — the shared-bucket flow of a daemon and its workers.
+func TestExecuteWithObjectStore(t *testing.T) {
+	st, _ := newObjectStore(t)
+	type result struct {
+		N int `json:"n"`
+	}
+	unit := func(i int) Unit {
+		return Unit{
+			Key:   fmt.Sprintf("u/%d", i),
+			Group: "g",
+			Run:   func(context.Context) (any, error) { return &result{N: i}, nil },
+		}
+	}
+	var roots []Unit
+	for i := 0; i < 8; i++ {
+		roots = append(roots, unit(i))
+	}
+	opts := Options{
+		Workers:     2,
+		Store:       st,
+		Fingerprint: "obj-exec",
+		Decode: func(key string, raw json.RawMessage) (any, error) {
+			var r result
+			if err := json.Unmarshal(raw, &r); err != nil {
+				return nil, err
+			}
+			return &r, nil
+		},
+	}
+	out, err := Execute(context.Background(), opts, roots)
+	if err != nil || out.Stats.Completed != 8 {
+		t.Fatalf("first run: %+v, %v", out.Stats, err)
+	}
+	opts.Resume = true
+	out2, err := Execute(context.Background(), opts, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Stats.Restored != 8 {
+		t.Fatalf("resumed run restored %d units, want 8", out2.Stats.Restored)
+	}
+	for i := 0; i < 8; i++ {
+		if out2.Results[fmt.Sprintf("u/%d", i)].(*result).N != i {
+			t.Fatalf("restored result %d corrupt", i)
+		}
+	}
+}
+
+// storeContention is the shared last-writer-wins contract check: many
+// goroutines concurrently Save the same fingerprint with distinct
+// payloads; every concurrent Load must observe one of the saved
+// checkpoints in full (no torn reads, no mixed payloads), and the final
+// Load must be one writer's complete checkpoint. List stays
+// deterministic (sorted) throughout.
+func storeContention(t *testing.T, st Store) {
+	t.Helper()
+	const writers, rounds = 8, 20
+	payload := func(w, r int) *Checkpoint {
+		tag := fmt.Sprintf(`{"writer":%d,"round":%d}`, w, r)
+		return &Checkpoint{
+			Version:     checkpointVersion,
+			Fingerprint: "contended",
+			Units:       w,
+			Results: map[string]json.RawMessage{
+				"a": json.RawMessage(tag),
+				"b": json.RawMessage(tag),
+			},
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*2)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := st.Save(payload(w, r)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ck, err := st.Load("contended")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ck == nil {
+					continue // reader outran the first write
+				}
+				// Untorn: both payload halves must agree on the writer.
+				if string(ck.Results["a"]) != string(ck.Results["b"]) {
+					errs <- fmt.Errorf("torn read: a=%s b=%s", ck.Results["a"], ck.Results["b"])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ck, err := st.Load("contended")
+	if err != nil || ck == nil {
+		t.Fatalf("final load: %v, %v", ck, err)
+	}
+	if string(ck.Results["a"]) != string(ck.Results["b"]) {
+		t.Fatalf("final checkpoint torn: a=%s b=%s", ck.Results["a"], ck.Results["b"])
+	}
+	fps, err := st.List()
+	if err != nil || !reflect.DeepEqual(fps, []string{"contended"}) {
+		t.Fatalf("list after contention = %v, %v", fps, err)
+	}
+}
+
+// TestDirStoreContention: concurrent same-fingerprint saves to the
+// content-addressed directory are last-writer-wins (atomic rename), and
+// readers never see a torn checkpoint.
+func TestDirStoreContention(t *testing.T) {
+	storeContention(t, DirStore{Dir: t.TempDir()})
+}
+
+// TestObjectStoreContention: the same contract over the object backend
+// (whole-object replace under the bucket lock).
+func TestObjectStoreContention(t *testing.T) {
+	st, _ := newObjectStore(t)
+	storeContention(t, st)
+}

@@ -185,17 +185,38 @@ func (e *engine) worker(ctx context.Context, id int) {
 	}
 }
 
-// perform resolves one unit: from the checkpoint when possible, live
-// otherwise, with panics converted to errors. Live executions pass
-// through the admission gate (when one is configured) so concurrent
-// campaigns share the global slot budget; restored units bypass it —
-// a checkpoint hit costs microseconds, not a worker slot.
+// perform resolves one unit: from the checkpoint when possible, then by
+// remote dispatch when an Executor accepts it, live locally otherwise,
+// with panics converted to errors. Remote dispatch happens before the
+// admission gate — a remotely executing unit consumes no local slot, so
+// connected workers add capacity on top of the local budget. Local
+// executions pass through the gate (when one is configured) so
+// concurrent campaigns share the global slot budget; restored units
+// bypass both — a checkpoint hit costs microseconds, not a worker slot.
 func (e *engine) perform(ctx context.Context, u Unit) (res any, restored bool, err error) {
 	if raw, ok := e.restoredPayload(u.Key); ok && e.opts.Decode != nil {
 		if res, dErr := e.opts.Decode(u.Key, raw); dErr == nil {
 			return res, true, nil
 		}
 		// Undecodable payload (format drift): fall through and re-run.
+	}
+	if x := e.opts.Executor; x != nil && e.opts.Decode != nil {
+		raw, ok, xErr := x.Execute(ctx, u)
+		if xErr != nil {
+			return nil, false, xErr
+		}
+		if ok {
+			res, dErr := e.opts.Decode(u.Key, raw)
+			if dErr != nil {
+				// An undecodable remote result is a unit error, not a
+				// silent local re-run: it means worker/daemon version
+				// skew, which retrying locally would mask.
+				return nil, false, fmt.Errorf("campaign: decode remote result of %s: %w", u.Key, dErr)
+			}
+			return res, false, nil
+		}
+		// Declined: no remote capacity (or the lease expired under a
+		// dead worker) — the unit is re-queued locally, right here.
 	}
 	if e.opts.Gate != nil {
 		release, gErr := e.opts.Gate.Acquire(ctx)

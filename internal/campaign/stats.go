@@ -108,6 +108,18 @@ func (s *Stats) Print(w io.Writer) {
 		if n := ss.Counters["classes_truncated"]; n > 0 {
 			fmt.Fprintf(w, "  %d classes truncated (raise -maxclasses for full coverage)", n)
 		}
+		if n := ss.Counters["units_leased"]; n > 0 {
+			fmt.Fprintf(w, "  %d leased", n)
+		}
+		if n := ss.Counters["remote_results"]; n > 0 {
+			fmt.Fprintf(w, "  %d remote results", n)
+		}
+		if n := ss.Counters["leases_expired"]; n > 0 {
+			fmt.Fprintf(w, "  %d leases EXPIRED", n)
+		}
+		if n := ss.Counters["remote_retries"]; n > 0 {
+			fmt.Fprintf(w, "  %d remote retries", n)
+		}
 		fmt.Fprintln(w)
 	}
 }

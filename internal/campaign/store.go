@@ -70,7 +70,7 @@ func (s FileStore) Load(string) (*Checkpoint, error) {
 // Save atomically persists ck. Write-to-temp-then-rename keeps a crash
 // from truncating the previous checkpoint.
 func (s FileStore) Save(ck *Checkpoint) error {
-	return writeCheckpointFile(s.Path, s.Path+".tmp", ck)
+	return writeCheckpointFile(s.Path, ck)
 }
 
 // List returns the stored checkpoint's fingerprint (empty when the file
@@ -98,10 +98,17 @@ const ckptExt = ".ckpt.json"
 // String names the store in engine errors.
 func (s DirStore) String() string { return s.Dir }
 
+// contentAddress maps a fingerprint to its content-addressed filename,
+// shared by DirStore (files in a directory) and ObjectStore (keys in a
+// bucket) so the two layouts are interchangeable.
+func contentAddress(fingerprint string) string {
+	sum := sha256.Sum256([]byte(fingerprint))
+	return hex.EncodeToString(sum[:16]) + ckptExt
+}
+
 // path maps a fingerprint to its content address inside the directory.
 func (s DirStore) path(fingerprint string) string {
-	sum := sha256.Sum256([]byte(fingerprint))
-	return filepath.Join(s.Dir, hex.EncodeToString(sum[:16])+ckptExt)
+	return filepath.Join(s.Dir, contentAddress(fingerprint))
 }
 
 // Load reads the checkpoint stored for fingerprint (nil when absent).
@@ -120,11 +127,12 @@ func (s DirStore) Load(fingerprint string) (*Checkpoint, error) {
 }
 
 // Save atomically persists ck under its fingerprint's address. The
-// temporary file is unique per fingerprint, so concurrent saves of
-// different campaigns never race on a shared temp name.
+// temporary file is unique per save (not just per fingerprint), so
+// concurrent saves — different campaigns, or a daemon and a worker
+// flushing the same fingerprint — are last-writer-wins through atomic
+// renames, never a torn mix of two writers' bytes.
 func (s DirStore) Save(ck *Checkpoint) error {
-	p := s.path(ck.Fingerprint)
-	return writeCheckpointFile(p, p+".tmp", ck)
+	return writeCheckpointFile(s.path(ck.Fingerprint), ck)
 }
 
 // List enumerates the stored fingerprints, sorted.
@@ -162,32 +170,53 @@ func readCheckpointFile(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
 	}
+	return parseCheckpoint(data, path)
+}
+
+// parseCheckpoint decodes one checkpoint document (name labels errors).
+func parseCheckpoint(data []byte, name string) (*Checkpoint, error) {
 	var ck Checkpoint
 	if err := json.Unmarshal(data, &ck); err != nil {
-		return nil, fmt.Errorf("campaign: parse checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("campaign: parse checkpoint %s: %w", name, err)
 	}
 	if ck.Version != checkpointVersion {
 		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d",
-			path, ck.Version, checkpointVersion)
+			name, ck.Version, checkpointVersion)
 	}
 	return &ck, nil
 }
 
-// writeCheckpointFile atomically persists ck to path via tmp.
-func writeCheckpointFile(path, tmp string, ck *Checkpoint) error {
+// writeCheckpointFile atomically persists ck to path via a temp file
+// unique to this call (write-to-temp-then-rename). A fixed temp name
+// would let two concurrent writers of the same path interleave write
+// and rename and commit a torn file; a per-call temp makes concurrent
+// saves strictly last-writer-wins.
+func writeCheckpointFile(path string, ck *Checkpoint) error {
 	data, err := json.Marshal(ck)
 	if err != nil {
 		return fmt.Errorf("campaign: marshal checkpoint: %w", err)
 	}
-	if dir := filepath.Dir(path); dir != "" {
+	dir := filepath.Dir(path)
+	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("campaign: checkpoint dir: %w", err)
 		}
 	}
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint temp: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: write checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: commit checkpoint: %w", err)
 	}
 	return nil

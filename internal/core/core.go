@@ -228,6 +228,13 @@ type Pipeline struct {
 	good      map[bool]*signature.GoodSpace
 	goodCalls map[bool]*goodCall
 
+	// discovered caches class discoveries per "dft/macro" for
+	// ExecuteUnit (the remote-worker path, where many class units of one
+	// macro arrive independently); discoverCalls single-flights the
+	// in-progress ones, mirroring goodCalls.
+	discovered    map[string]*MacroRun
+	discoverCalls map[string]*discoverCall
+
 	// pool reuses fault-free simulation engines across class analyses
 	// (checkout semantics — concurrent campaign workers each hold at
 	// most one engine per circuit key at a time); base memoises the
@@ -254,8 +261,11 @@ func NewPipeline(cfg Config) *Pipeline {
 		nomParts:  map[bool]map[string]*signature.Response{},
 		good:      map[bool]*signature.GoodSpace{},
 		goodCalls: map[bool]*goodCall{},
-		pool:      macros.NewEnginePool(),
-		base:      macros.NewBaselines(),
+
+		discovered:    map[string]*MacroRun{},
+		discoverCalls: map[string]*discoverCall{},
+		pool:          macros.NewEnginePool(),
+		base:          macros.NewBaselines(),
 	}
 	p.all = []macros.Macro{p.cmp, p.ladder, p.biasgen, p.clock, p.decoder}
 	return p

@@ -25,7 +25,10 @@ import (
 //	                                 (?dft=pre|post, ?wait=1 blocks until
 //	                                 the job is terminal)
 //	GET    /api/v1/checkpoints       fingerprints held by the Store
+//	GET    /api/v1/workers           remote-worker registry
 //	GET    /healthz                  liveness
+//
+// plus the worker-facing lease protocol documented in leasehttp.go.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -38,6 +41,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /api/v1/checkpoints", s.handleCheckpoints)
+	mux.HandleFunc("POST /api/v1/lease", s.handleLease)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/lease", s.handleLease)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/units/{key}/result", s.handleUnitResult)
+	mux.HandleFunc("POST /api/v1/leases/{lease}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("DELETE /api/v1/leases/{lease}", s.handleRelease)
+	mux.HandleFunc("GET /api/v1/workers", s.handleWorkers)
 	return mux
 }
 

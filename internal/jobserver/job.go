@@ -272,13 +272,25 @@ func (j *Job) run(ctx context.Context) {
 		label := core.DfTLabel(dft)
 		p := core.NewPipeline(cfg)
 		p.Obs = obs.New(obs.NewAgg(), j.streamer)
+		// The good-space Monte Carlo stays on the local budget; only the
+		// campaign pool gets the remote surplus below.
+		p.GoodSpaceWorkers = j.workers()
 		opts := campaign.Options{
-			Workers:     j.workers(),
+			// Surplus workers beyond the local budget serve remote
+			// leases: a unit picked by any worker is first offered to a
+			// parked campaignw long-poll (no local slot held while it
+			// runs remotely) and otherwise parks at the fair gate, so
+			// connected workers add capacity without ever displacing
+			// local throughput.
+			Workers:     j.workers() + j.srv.remoteSlots(),
 			Fingerprint: core.Fingerprint(cfg, dft),
 			Store:       j.srv.opts.Store,
 			Resume:      j.srv.opts.Store != nil,
 			Gate:        tenant,
 			OnProgress:  func(pr campaign.Progress) { j.setProgress(label, pr) },
+		}
+		if j.srv.disp != nil {
+			opts.Executor = newRemoteExecutor(j.srv.disp, j, dft, p.Obs)
 		}
 		run, out, err := p.RunParallel(ctx, dft, opts)
 		if err != nil {

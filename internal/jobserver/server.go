@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
@@ -40,6 +41,19 @@ type Options struct {
 	// checkpoints survive daemon restarts and independent jobs never
 	// collide.
 	Store campaign.Store
+	// RemoteSlots is the surplus engine-worker count reserved for
+	// leasing units to remote campaignw workers, on top of the local
+	// Budget (0 selects DefaultRemoteSlots; negative disables remote
+	// dispatch entirely). Surplus workers cost nothing while no remote
+	// worker is connected: the executor declines instantly and they
+	// park at the fair gate behind the local budget, so remote capacity
+	// is strictly additive.
+	RemoteSlots int
+	// LeaseTTL is the remote lease lifetime between heartbeats (0
+	// selects DefaultLeaseTTL). A lease that outlives its TTL without a
+	// heartbeat is expired and its unit re-queued locally — a dead
+	// worker can delay a unit by at most one TTL, never lose it.
+	LeaseTTL time.Duration
 	// Logf, if non-nil, receives server lifecycle log lines.
 	Logf func(format string, args ...any)
 }
@@ -49,6 +63,9 @@ type Options struct {
 type Server struct {
 	opts Options
 	gate *campaign.FairGate
+	// disp matches units to parked remote-worker long-polls (nil when
+	// remote dispatch is disabled).
+	disp *dispatcher
 
 	// base is the parent context of every job: jobs outlive the HTTP
 	// requests that submit or watch them and die only with the server.
@@ -69,14 +86,30 @@ func New(opts Options) *Server {
 	if opts.Budget <= 0 {
 		opts.Budget = runtime.GOMAXPROCS(0)
 	}
+	if opts.RemoteSlots == 0 {
+		opts.RemoteSlots = DefaultRemoteSlots
+	}
 	base, stop := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		opts:     opts,
 		gate:     campaign.NewFairGate(opts.Budget),
 		base:     base,
 		baseStop: stop,
 		jobs:     map[string]*Job{},
 	}
+	if opts.RemoteSlots > 0 {
+		s.disp = newDispatcher(base, opts.LeaseTTL, s.logf)
+	}
+	return s
+}
+
+// remoteSlots resolves the configured surplus (0 when remote dispatch
+// is disabled).
+func (s *Server) remoteSlots() int {
+	if s.disp == nil {
+		return 0
+	}
+	return s.opts.RemoteSlots
 }
 
 // logf logs through the configured sink, if any.

@@ -52,6 +52,13 @@ const (
 	// cost of the Monte Carlo; the ratio against the enclosing
 	// StageGoodSpace span's wall time is the die-sharding speedup.
 	StageGoodSpaceDie = "goodspace_die"
+	// StageRemote is one leased remote unit execution on the job
+	// server's dispatch path (class labels the unit key): the span
+	// covers lease grant to result/expiry, and its counters record the
+	// scale-out behaviour (units_leased, remote_results, leases_expired,
+	// remote_retries). The stage's wall time is remote wall time — it
+	// overlaps, never partitions, the local stages.
+	StageRemote = "remote"
 )
 
 // Counter indexes one hot-path counter inside a Metrics block.
@@ -95,6 +102,20 @@ const (
 	// Config.MaxClassesPerMacro before analysis — non-zero means the
 	// coverage figures describe a truncated class population.
 	CtrClassesTruncated
+	// CtrUnitsLeased counts campaign units leased to remote workers
+	// (every grant, whether it ended in a result or an expiry).
+	CtrUnitsLeased
+	// CtrLeasesExpired counts leases that expired without a heartbeat —
+	// a dead or partitioned worker — re-queueing the unit locally.
+	CtrLeasesExpired
+	// CtrRemoteResults counts units whose result came back from a
+	// remote worker and was merged through the restored-unit decode
+	// path.
+	CtrRemoteResults
+	// CtrRemoteRetries counts units that failed remotely (the worker
+	// posted an error) and were handed back to the engine's bounded
+	// retry, which re-runs them locally.
+	CtrRemoteRetries
 
 	// NumCounters is the size of a Metrics block.
 	NumCounters
@@ -114,6 +135,10 @@ var counterNames = [NumCounters]string{
 	"rank1_solves",
 	"rank1_fallbacks",
 	"classes_truncated",
+	"units_leased",
+	"leases_expired",
+	"remote_results",
+	"remote_retries",
 }
 
 // Name returns the canonical (JSON) name of the counter.

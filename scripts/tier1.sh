@@ -35,6 +35,12 @@
 #                        completion, verify the result bytes are
 #                        identical to a direct `dotest -quick` run, and
 #                        shut the daemon down with SIGTERM (exit 130)
+#  10. campaignw smoke  — (skipped with SHORT=1) attach two campaignw
+#                        remote workers to the same daemon, run a second
+#                        -quick job with units leasing out over the
+#                        remote protocol, verify the served bytes are
+#                        again identical to the direct CLI run, and stop
+#                        the workers with SIGTERM (exit 130)
 set -eu
 
 fmt=$(gofmt -l .)
@@ -48,11 +54,15 @@ fi
 # context.TODO() marks an unthreaded context (the API takes ctx
 # everywhere now), and a bare time.Now() leaks wall-clock state into
 # results. Wall-clock use is legitimate only in the observability and
-# campaign-metrics layers (span timestamps, run wall time) and in CLIs /
-# tests, so those are excluded.
+# campaign-metrics layers (span timestamps, run wall time), the job
+# server (lease deadlines and worker liveness are wall-clock state by
+# design, and never flow into results) and in CLIs / tests, so those
+# are excluded. internal/worker stays IN scope: the remote worker
+# executes pipeline units and must stay wall-clock-free outside
+# tickers/timers, or remote results could diverge from local ones.
 lint=$(grep -rn --include='*.go' \
 	--exclude='*_test.go' \
-	--exclude-dir=obs --exclude-dir=campaign \
+	--exclude-dir=obs --exclude-dir=campaign --exclude-dir=jobserver \
 	-e 'context\.TODO()' -e 'time\.Now()' \
 	internal/ repro.go 2>/dev/null || true)
 if [ -n "$lint" ]; then
@@ -126,6 +136,49 @@ if [ -z "${SHORT:-}" ]; then
 	id=$("$tmp/campaignctl" -server "$addr" submit -quick -dft pre -wait)
 	"$tmp/campaignctl" -server "$addr" result "$id" -dft pre -o "$tmp/srv.json"
 	cmp "$tmp/ref.json" "$tmp/srv.json"
+
+	# Campaignw smoke: the remote-worker path must also be byte-identical.
+	# Two workers attach to the daemon; a second job (different seed, so it
+	# cannot dedup onto the finished one) runs with units leasing out over
+	# the remote protocol, and the served bytes must again match the direct
+	# CLI run exactly. The workers are parked before submission so units
+	# demonstrably lease out; the Go tests assert remote participation,
+	# this stage asserts the end-to-end binaries and byte-identity.
+	go build -o "$tmp/campaignw" ./cmd/campaignw
+	"$tmp/dotest" -quick -dft pre -seed 7 -workers 0 -json "$tmp/ref2.json" >/dev/null
+
+	"$tmp/campaignw" -addr "$addr" -id smoke-w1 -wait 2s &
+	wpid1=$!
+	"$tmp/campaignw" -addr "$addr" -id smoke-w2 -wait 2s &
+	wpid2=$!
+	i=0
+	while [ "$("$tmp/campaignctl" -server "$addr" workers | grep -c 'waiting for work')" -lt 2 ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 1000 ]; then
+			echo "campaignw smoke: workers never parked" >&2
+			kill "$wpid1" "$wpid2" "$dpid" 2>/dev/null || true
+			exit 1
+		fi
+		sleep 0.01
+	done
+
+	id2=$("$tmp/campaignctl" -server "$addr" submit -quick -dft pre -seed 7 -wait)
+	"$tmp/campaignctl" -server "$addr" result "$id2" -dft pre -o "$tmp/srv2.json"
+	cmp "$tmp/ref2.json" "$tmp/srv2.json"
+	"$tmp/campaignctl" -server "$addr" workers >&2
+
+	for wpid in "$wpid1" "$wpid2"; do
+		kill -TERM "$wpid"
+		set +e
+		wait "$wpid"
+		status=$?
+		set -e
+		if [ "$status" -ne 130 ]; then
+			echo "campaignw smoke: worker exited $status, want 130" >&2
+			exit 1
+		fi
+	done
+	echo "tier1: campaignw smoke passed (remote workers byte-identical to dotest)"
 
 	kill -TERM "$dpid"
 	set +e
