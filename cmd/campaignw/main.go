@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	campaignw -addr URL [-id name] [-job id] [-slots N] [-wait dur]
+//	campaignw -addr URL [-id name] [-job id] [-slots N] [-batch K] [-wait dur]
 //
 // The worker heartbeats each lease; if it dies, the daemon re-queues
 // the unit locally after one lease TTL. SIGINT or SIGTERM stops
@@ -42,6 +42,7 @@ func run() int {
 		id    = flag.String("id", "", "worker id (default w-<pid>)")
 		job   = flag.String("job", "", "lease only from this job id (default: any job)")
 		slots = flag.Int("slots", 1, "units executed concurrently")
+		batch = flag.Int("batch", 0, "max units leased per round-trip (0: bounded by free slots)")
 		wait  = flag.Duration("wait", 30*time.Second, "lease long-poll bound")
 		quiet = flag.Bool("q", false, "suppress per-unit log lines")
 	)
@@ -55,12 +56,13 @@ func run() int {
 		*id = fmt.Sprintf("w-%d", os.Getpid())
 	}
 	opts := worker.Options{
-		Base:  *addr,
-		ID:    *id,
-		Job:   *job,
-		Slots: *slots,
-		Wait:  *wait,
-		Logf:  log.Printf,
+		Base:     *addr,
+		ID:       *id,
+		Job:      *job,
+		Slots:    *slots,
+		MaxBatch: *batch,
+		Wait:     *wait,
+		Logf:     log.Printf,
 	}
 	if *quiet {
 		opts.Logf = nil
@@ -78,8 +80,8 @@ func run() int {
 	stop()
 
 	st := w.Stats()
-	log.Printf("worker %s: done (%d leased, %d results, %d failed, %d abandoned, %d released)",
-		*id, st.Leased, st.Results, st.Failed, st.Abandoned, st.Released)
+	log.Printf("worker %s: done (%d leased, %d batched, %d results, %d failed, %d abandoned, %d released)",
+		*id, st.Leased, st.Batched, st.Results, st.Failed, st.Abandoned, st.Released)
 	if ctx.Err() != nil {
 		return 130
 	}

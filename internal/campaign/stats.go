@@ -108,6 +108,15 @@ func (s *Stats) Print(w io.Writer) {
 		if n := ss.Counters["classes_truncated"]; n > 0 {
 			fmt.Fprintf(w, "  %d classes truncated (raise -maxclasses for full coverage)", n)
 		}
+		if n := ss.Counters["rebind_hits"]; n > 0 {
+			fmt.Fprintf(w, "  %d rebinds", n)
+		}
+		if n := ss.Counters["full_rebuilds"]; n > 0 {
+			fmt.Fprintf(w, "  %d full rebuilds", n)
+		}
+		if n := ss.Counters["pattern_reuse_hits"]; n > 0 {
+			fmt.Fprintf(w, "  %d pattern reuses", n)
+		}
 		if n := ss.Counters["units_leased"]; n > 0 {
 			fmt.Fprintf(w, "  %d leased", n)
 		}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// sumCounter folds one counter across every stage of an aggregator
+// snapshot (checkout counters land in the inject stage, solver counters
+// in faultsim; pipeline-level assertions only care about totals).
+func sumCounter(agg *obs.Agg, c obs.Counter) int64 {
+	var n int64
+	for _, st := range agg.Snapshot() {
+		n += st.Counters[c.Name()]
+	}
+	return n
+}
+
+// TestRebindCounters pins the compile-once/revalue-many observability
+// contract at the pipeline level: class analyses of conductance-only
+// faults are served by pooled engines revalued in place (rebind_hits
+// dominating full_rebuilds, compiled sparse patterns retained), while a
+// topology-changing fault provably falls back to the full-build path.
+func TestRebindCounters(t *testing.T) {
+	agg := obs.NewAgg()
+	p := NewPipeline(QuickConfig())
+	p.Obs = obs.New(agg)
+	ctx := context.Background()
+
+	// Two analyses of a conductance-only class: the first builds (and
+	// pools) engines, the second is served by rebind.
+	cls := faults.Class{Fault: faults.Fault{
+		Kind: faults.Short, Nets: []string{"o1", "vss"}, Res: 0.2}, Count: 1}
+	for i := 0; i < 2; i++ {
+		if _, err := p.AnalyzeClass(ctx, "comparator", cls, false, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebinds := sumCounter(agg, obs.CtrRebindHits)
+	rebuilds := sumCounter(agg, obs.CtrFullRebuilds)
+	if rebinds == 0 {
+		t.Fatal("no rebind_hits on a repeated conductance-only class analysis")
+	}
+	if rebuilds == 0 {
+		t.Fatal("the cold pool must count its first builds as full_rebuilds")
+	}
+	if rebinds <= rebuilds {
+		t.Fatalf("rebind_hits (%d) must dominate full_rebuilds (%d) on a warm pool",
+			rebinds, rebuilds)
+	}
+	if sumCounter(agg, obs.CtrPatternReuse) == 0 {
+		t.Fatal("rebind hits must retain compiled sparse patterns (pattern_reuse_hits = 0)")
+	}
+
+	// A topology-changing fault (an open splits a node) must take the
+	// full-build path every time — full_rebuilds grows on each repeat,
+	// and the pool serves it no rebinds.
+	open := faults.Class{Fault: faults.Fault{
+		Kind: faults.Open, Nets: []string{"o1"},
+		FarTerminals: []faults.Terminal{{Device: "m1", Net: "o1"}}}, Count: 1}
+	if _, err := p.AnalyzeClass(ctx, "comparator", open, false, false); err != nil {
+		t.Fatal(err)
+	}
+	mid := sumCounter(agg, obs.CtrFullRebuilds)
+	if mid <= rebuilds {
+		t.Fatalf("topology-changing class did not count full rebuilds (%d -> %d)",
+			rebuilds, mid)
+	}
+	if _, err := p.AnalyzeClass(ctx, "comparator", open, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if after := sumCounter(agg, obs.CtrFullRebuilds); after <= mid {
+		t.Fatalf("repeated topology-changing class was served from the pool (%d -> %d)",
+			mid, after)
+	}
+}

@@ -55,41 +55,6 @@ type Gate struct {
 	In   []string
 }
 
-// eval computes the gate function.
-func (g *Gate) eval(v map[string]bool) bool {
-	switch g.Type {
-	case Buf:
-		return v[g.In[0]]
-	case Not:
-		return !v[g.In[0]]
-	case And, Nand:
-		out := true
-		for _, in := range g.In {
-			out = out && v[in]
-		}
-		if g.Type == Nand {
-			return !out
-		}
-		return out
-	case Or, Nor:
-		out := false
-		for _, in := range g.In {
-			out = out || v[in]
-		}
-		if g.Type == Nor {
-			return !out
-		}
-		return out
-	case Xor:
-		out := false
-		for _, in := range g.In {
-			out = out != v[in]
-		}
-		return out
-	}
-	return false
-}
-
 // FaultKind selects the digital fault model.
 type FaultKind int
 
@@ -115,9 +80,9 @@ type Fault struct {
 }
 
 // Circuit is a feed-forward gate network. Once built, a Circuit is safe
-// for concurrent Eval calls: the lazily computed topological order is
-// mutex-guarded (the decoder macro shares one Circuit across parallel
-// fault-class analyses).
+// for concurrent Eval calls: the lazily computed topological order and
+// compiled index program are mutex-guarded (the decoder macro shares
+// one Circuit across parallel fault-class analyses).
 type Circuit struct {
 	Inputs  []string
 	Outputs []string
@@ -125,6 +90,7 @@ type Circuit struct {
 
 	mu      sync.Mutex
 	ordered []*Gate
+	prog    *program
 }
 
 // AddGate appends a gate.
@@ -132,6 +98,7 @@ func (c *Circuit) AddGate(name string, t GateType, out string, in ...string) {
 	c.Gates = append(c.Gates, &Gate{Name: name, Type: t, Out: out, In: in})
 	c.mu.Lock()
 	c.ordered = nil
+	c.prog = nil
 	c.mu.Unlock()
 }
 
@@ -200,6 +167,212 @@ func (c *Circuit) topo() ([]*Gate, error) {
 	return order, nil
 }
 
+// program is the compiled, index-addressed form of the network — the
+// gate-level analogue of the analog side's compile-once/revalue-many
+// split. Net names resolve to dense slot indices once; evaluation then
+// runs over slices with no map traffic and no name formatting.
+type program struct {
+	index map[string]int // net name → slot
+	nets  []string       // slot → net name (Values reconstruction)
+	in    []int          // slot per Circuit.Inputs entry, in order
+	gates []pgate        // topological order, index-resolved
+}
+
+type pgate struct {
+	typ GateType
+	out int32
+	in  []int32
+}
+
+// compiled returns the circuit's index program, building it on first
+// use (invalidated by AddGate, like the topological order).
+func (c *Circuit) compiled() (*program, error) {
+	ordered, err := c.topo()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.prog != nil {
+		return c.prog, nil
+	}
+	p := &program{index: map[string]int{}}
+	slot := func(name string) int32 {
+		i, ok := p.index[name]
+		if !ok {
+			i = len(p.nets)
+			p.index[name] = i
+			p.nets = append(p.nets, name)
+		}
+		return int32(i)
+	}
+	for _, name := range c.Inputs {
+		p.in = append(p.in, int(slot(name)))
+	}
+	p.gates = make([]pgate, len(ordered))
+	for gi, g := range ordered {
+		pg := pgate{typ: g.Type, out: slot(g.Out), in: make([]int32, len(g.In))}
+		for i, in := range g.In {
+			pg.in[i] = slot(in)
+		}
+		p.gates[gi] = pg
+	}
+	c.prog = p
+	return p, nil
+}
+
+// NetIndex resolves a net name to its evaluation slot (-1, false when
+// the circuit has no such net). The index is stable until AddGate.
+func (c *Circuit) NetIndex(name string) (int, bool) {
+	p, err := c.compiled()
+	if err != nil {
+		return -1, false
+	}
+	i, ok := p.index[name]
+	if !ok {
+		return -1, false
+	}
+	return i, ok
+}
+
+// Scratch is reusable single-goroutine evaluation state for EvalInto.
+// Reset it, set the input slots, evaluate, read output slots — no
+// allocation after construction.
+type Scratch struct {
+	val []bool
+	def []bool
+}
+
+// NewScratch returns a scratch sized for the circuit's current net set.
+func (c *Circuit) NewScratch() (*Scratch, error) {
+	p, err := c.compiled()
+	if err != nil {
+		return nil, err
+	}
+	return &Scratch{val: make([]bool, len(p.nets)), def: make([]bool, len(p.nets))}, nil
+}
+
+// Reset clears every slot to undefined/false.
+func (s *Scratch) Reset() {
+	for i := range s.val {
+		s.val[i] = false
+		s.def[i] = false
+	}
+}
+
+// Set assigns slot idx (use before EvalInto for input nets).
+func (s *Scratch) Set(idx int, v bool) {
+	s.val[idx] = v
+	s.def[idx] = true
+}
+
+// Val reads slot idx after EvalInto.
+func (s *Scratch) Val(idx int) bool { return s.val[idx] }
+
+func (p *pgate) eval(val []bool) bool {
+	switch p.typ {
+	case Buf:
+		return val[p.in[0]]
+	case Not:
+		return !val[p.in[0]]
+	case And, Nand:
+		out := true
+		for _, in := range p.in {
+			out = out && val[in]
+		}
+		if p.typ == Nand {
+			return !out
+		}
+		return out
+	case Or, Nor:
+		out := false
+		for _, in := range p.in {
+			out = out || val[in]
+		}
+		if p.typ == Nor {
+			return !out
+		}
+		return out
+	case Xor:
+		out := false
+		for _, in := range p.in {
+			out = out != val[in]
+		}
+		return out
+	}
+	return false
+}
+
+// EvalInto evaluates the circuit over the scratch's slots under fault f:
+// the allocation-free core of Eval. Input slots must be Set by the
+// caller (an unset input reads false, as Eval's missing map key does);
+// gate outputs land in the scratch for Val. The returned flags mirror
+// Result.IDDQ and Result.Unstable. Fault nets absent from the circuit
+// read false and absorb writes, matching the map semantics for every
+// observable output.
+func (c *Circuit) EvalInto(s *Scratch, f Fault) (iddq, unstable bool, err error) {
+	p, err := c.compiled()
+	if err != nil {
+		return false, false, err
+	}
+	slot := func(name string) int {
+		if i, ok := p.index[name]; ok {
+			return i
+		}
+		return -1
+	}
+	read := func(idx int) bool { return idx >= 0 && s.val[idx] }
+	write := func(idx int, v bool) {
+		if idx >= 0 {
+			s.val[idx] = v
+			s.def[idx] = true
+		}
+	}
+	fNet, fNet2 := -1, -1
+	if f.Kind != FaultNone {
+		fNet = slot(f.Net)
+		if f.Kind == Bridge {
+			fNet2 = slot(f.Net2)
+		}
+	}
+	if f.IDDQOnly {
+		iddq = true
+	}
+	if f.Kind == StuckAt {
+		write(fNet, f.Val)
+	}
+	const maxPasses = 4
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for gi := range p.gates {
+			g := &p.gates[gi]
+			nv := g.eval(s.val)
+			if f.Kind == StuckAt && g.out == int32(fNet) {
+				nv = f.Val
+			}
+			if !s.def[g.out] || s.val[g.out] != nv {
+				s.val[g.out] = nv
+				s.def[g.out] = true
+				changed = true
+			}
+		}
+		if f.Kind == Bridge {
+			a, b := read(fNet), read(fNet2)
+			if a != b {
+				iddq = true
+				// Wired-AND resolution.
+				write(fNet, a && b)
+				write(fNet2, a && b)
+				changed = true
+			}
+		}
+		if !changed {
+			return iddq, false, nil
+		}
+	}
+	return iddq, true, nil
+}
+
 // Result of one faulty evaluation.
 type Result struct {
 	// Values maps every net to its settled value.
@@ -214,56 +387,34 @@ type Result struct {
 
 // Eval computes the circuit response to the given input assignment under
 // fault f (pass Fault{} for fault-free). Bridges are wired-AND and
-// evaluated to a fixpoint.
+// evaluated to a fixpoint. Eval is the map-shaped convenience wrapper
+// over EvalInto; hot paths (the decoder's per-level sweep) hold a
+// Scratch and call EvalInto directly.
 func (c *Circuit) Eval(in map[string]bool, f Fault) (*Result, error) {
-	ordered, err := c.topo()
+	s, err := c.NewScratch()
 	if err != nil {
 		return nil, err
 	}
-	v := map[string]bool{}
-	for _, name := range c.Inputs {
-		v[name] = in[name]
+	p, _ := c.compiled()
+	for _, idx := range p.in {
+		s.Set(idx, in[p.nets[idx]])
 	}
-	res := &Result{}
-	if f.IDDQOnly {
-		res.IDDQ = true
+	iddq, unstable, err := c.EvalInto(s, f)
+	if err != nil {
+		return nil, err
 	}
-	apply := func() {
-		if f.Kind == StuckAt {
-			v[f.Net] = f.Val
+	res := &Result{Values: map[string]bool{}, IDDQ: iddq, Unstable: unstable}
+	for idx, def := range s.def {
+		if def {
+			res.Values[p.nets[idx]] = s.val[idx]
 		}
 	}
-	apply()
-	const maxPasses = 4
-	for pass := 0; pass < maxPasses; pass++ {
-		changed := false
-		for _, g := range ordered {
-			nv := g.eval(v)
-			// Stuck-at overrides gate outputs too.
-			if f.Kind == StuckAt && g.Out == f.Net {
-				nv = f.Val
-			}
-			if old, ok := v[g.Out]; !ok || old != nv {
-				v[g.Out] = nv
-				changed = true
-			}
-		}
-		if f.Kind == Bridge {
-			a, b := v[f.Net], v[f.Net2]
-			if a != b {
-				res.IDDQ = true
-				// Wired-AND resolution.
-				v[f.Net] = a && b
-				v[f.Net2] = a && b
-				changed = true
-			}
-		}
-		if !changed {
-			res.Values = v
-			return res, nil
+	// A stuck-at on a net the circuit does not contain still lands in
+	// the value map (it just drives nothing), as it always has.
+	if f.Kind == StuckAt {
+		if _, ok := p.index[f.Net]; !ok {
+			res.Values[f.Net] = f.Val
 		}
 	}
-	res.Values = v
-	res.Unstable = true
 	return res, nil
 }

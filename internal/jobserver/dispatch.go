@@ -77,6 +77,14 @@ type Grant struct {
 	Spec        core.JobSpec `json:"spec"`
 }
 
+// GrantBatch is the wire form of a batched lease response (?max=K for
+// K > 1): up to K independent grants collected into one round-trip.
+// Each grant is its own lease — heartbeats, results and expiry stay
+// strictly per-unit.
+type GrantBatch struct {
+	Grants []Grant `json:"grants"`
+}
+
 // WorkerStatus is one worker's row in GET /api/v1/workers.
 type WorkerStatus struct {
 	ID string `json:"id"`
@@ -105,12 +113,21 @@ type workerInfo struct {
 	expired  int64
 }
 
-// waiter is one parked lease long-poll.
+// waiter is one parked lease long-poll. cap is its remaining grant
+// capacity: a batched poll (?max=K) parks with cap K and keeps
+// absorbing offers until the capacity is spent or the poll departs.
 type waiter struct {
 	worker string
 	jobID  string // "" leases from any job
+	cap    int
 	grant  chan *lease
 }
+
+// batchLinger is how long a batched poll stays parked after its first
+// grant, collecting further offers into the same round-trip. Short on
+// purpose: the first unit's lease clock is already running, and a
+// worker with spare capacity re-parks immediately anyway.
+const batchLinger = 15 * time.Millisecond
 
 // dispatcher matches campaign units to parked worker long-polls and
 // tracks the resulting leases. Dispatch is pull-model: a unit is
@@ -156,12 +173,18 @@ func (d *dispatcher) worker(id string) *workerInfo {
 	return w
 }
 
-// park blocks until a unit is granted to workerID (filtered to jobID
-// when non-empty), the wait elapses (nil lease), or the server shuts
-// down (ErrShuttingDown). ctx is the HTTP request's — a disconnected
-// worker stops waiting immediately.
-func (d *dispatcher) park(ctx context.Context, workerID, jobID string, wait time.Duration) (*lease, error) {
-	w := &waiter{worker: workerID, jobID: jobID, grant: make(chan *lease, 1)}
+// parkN blocks until at least one unit is granted to workerID
+// (filtered to jobID when non-empty), the wait elapses (nil slice), or
+// the server shuts down (ErrShuttingDown). ctx is the HTTP request's —
+// a disconnected worker stops waiting immediately. With max > 1 the
+// poll lingers briefly after its first grant, batching up to max units
+// into one round-trip; per-unit lease semantics (TTL, heartbeat,
+// result) are untouched by the grouping.
+func (d *dispatcher) parkN(ctx context.Context, workerID, jobID string, wait time.Duration, max int) ([]*lease, error) {
+	if max < 1 {
+		max = 1
+	}
+	w := &waiter{worker: workerID, jobID: jobID, cap: max, grant: make(chan *lease, max)}
 	d.mu.Lock()
 	if d.base.Err() != nil {
 		d.mu.Unlock()
@@ -173,18 +196,41 @@ func (d *dispatcher) park(ctx context.Context, workerID, jobID string, wait time
 
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
-	var granted *lease
+	var granted []*lease
 	var err error
 	select {
-	case granted = <-w.grant:
+	case l := <-w.grant:
+		granted = append(granted, l)
 	case <-timer.C:
 	case <-ctx.Done():
 		err = ctx.Err()
 	case <-d.base.Done():
 		err = ErrShuttingDown
 	}
+	if len(granted) > 0 && max > 1 {
+		linger := time.NewTimer(batchLinger)
+	collect:
+		for len(granted) < max {
+			select {
+			case l := <-w.grant:
+				granted = append(granted, l)
+			case <-linger.C:
+				break collect
+			case <-ctx.Done():
+				err = ctx.Err()
+				break collect
+			case <-d.base.Done():
+				break collect
+			}
+		}
+		linger.Stop()
+	}
 
+	// Depart under the lock: zeroing the capacity stops further offers
+	// (they send holding d.mu), so the post-unlock drain collects every
+	// grant that raced in — the set is complete and final.
 	d.mu.Lock()
+	w.cap = 0
 	for i, pw := range d.waiters {
 		if pw == w {
 			d.waiters = append(d.waiters[:i], d.waiters[i+1:]...)
@@ -196,16 +242,25 @@ func (d *dispatcher) park(ctx context.Context, workerID, jobID string, wait time
 		wi.lastSeen = time.Now()
 	}
 	d.mu.Unlock()
-	if granted == nil {
-		// A grant can race the timeout: the offering executor put the
-		// lease in the channel just as we gave up. Hand it straight
-		// back so the unit re-runs locally instead of dangling.
+	for {
 		select {
 		case l := <-w.grant:
-			d.expire(l, "granted to a departed waiter")
+			granted = append(granted, l)
+			continue
 		default:
 		}
+		break
+	}
+	if err != nil {
+		// Disconnected or shutting down: no one is left to answer, so
+		// raced-in grants expire and their units re-run locally.
+		for _, l := range granted {
+			d.expire(l, "granted to a departed waiter")
+		}
 		return nil, err
+	}
+	if len(granted) == 0 {
+		return nil, nil
 	}
 	return granted, nil
 }
@@ -213,7 +268,9 @@ func (d *dispatcher) park(ctx context.Context, workerID, jobID string, wait time
 // offer hands the unit to a parked waiter, returning the granted lease
 // — or nil when no compatible waiter is parked, which tells the
 // executor to run the unit locally. The lease's TTL timer starts now;
-// heartbeats renew it.
+// heartbeats renew it. A batched waiter keeps its place in the FIFO
+// until its capacity is spent, so consecutive offers group onto one
+// round-trip.
 func (d *dispatcher) offer(jobID, dft, key string) *lease {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -221,7 +278,13 @@ func (d *dispatcher) offer(jobID, dft, key string) *lease {
 		if w.jobID != "" && w.jobID != jobID {
 			continue
 		}
-		d.waiters = append(d.waiters[:i], d.waiters[i+1:]...)
+		if w.cap <= 0 {
+			continue
+		}
+		w.cap--
+		if w.cap == 0 {
+			d.waiters = append(d.waiters[:i], d.waiters[i+1:]...)
+		}
 		d.seq++
 		l := &lease{
 			id:       fmt.Sprintf("l-%d", d.seq),

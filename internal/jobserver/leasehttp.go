@@ -4,14 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 )
 
 // Lease-protocol HTTP surface. The worker-facing half of the API:
 //
-//	POST   /api/v1/lease                          lease the next unit of
-//	                                              any job (long-poll)
-//	POST   /api/v1/jobs/{id}/lease                lease from one job
+//	POST   /api/v1/lease[?max=K]                  lease the next unit(s)
+//	                                              of any job (long-poll;
+//	                                              K>1 batches grants)
+//	POST   /api/v1/jobs/{id}/lease[?max=K]        lease from one job
 //	POST   /api/v1/jobs/{id}/units/{key}/result   post a leased unit's
 //	                                              outcome
 //	POST   /api/v1/leases/{lease}/heartbeat       renew a lease's TTL
@@ -47,9 +49,17 @@ type ResultRequest struct {
 	Error string `json:"error,omitempty"`
 }
 
+// maxLeaseBatch caps the ?max=K grant batching: far beyond any sane
+// per-worker concurrency, small enough that one response body stays
+// cheap to build and parse.
+const maxLeaseBatch = 64
+
 // handleLease is the long-poll: park until a unit is granted, the wait
 // elapses (204), or the server shuts down (503). With an {id} path
-// segment the lease is scoped to that job.
+// segment the lease is scoped to that job. ?max=K (K > 1) batches up
+// to K grants into the response ({"grants":[...]}); without it the
+// wire shape is the original single Grant object, so old workers keep
+// working unchanged.
 func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	if s.disp == nil {
 		writeError(w, http.StatusServiceUnavailable, "remote dispatch is disabled")
@@ -71,6 +81,18 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	max := 1
+	if ms := r.URL.Query().Get("max"); ms != "" {
+		v, err := strconv.Atoi(ms)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "bad max %q", ms)
+			return
+		}
+		max = v
+		if max > maxLeaseBatch {
+			max = maxLeaseBatch
+		}
+	}
 	wait := time.Duration(req.WaitMillis) * time.Millisecond
 	if wait <= 0 {
 		wait = 30 * time.Second
@@ -78,32 +100,43 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	if wait > 5*time.Minute {
 		wait = 5 * time.Minute
 	}
-	l, err := s.disp.park(r.Context(), req.Worker, jobID, wait)
+	leases, err := s.disp.parkN(r.Context(), req.Worker, jobID, wait, max)
 	switch {
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
 		return // worker disconnected mid-poll; no one to answer
-	case l == nil:
+	case len(leases) == 0:
 		w.WriteHeader(http.StatusNoContent) // no work within the wait
 		return
 	}
-	j, ok := s.Job(l.jobID)
-	if !ok { // unreachable: jobs outlive their leases
-		s.disp.expire(l, "job vanished")
-		writeError(w, http.StatusInternalServerError, "job %s vanished", l.jobID)
+	grants := make([]Grant, 0, len(leases))
+	for _, l := range leases {
+		j, ok := s.Job(l.jobID)
+		if !ok { // unreachable: jobs outlive their leases
+			s.disp.expire(l, "job vanished")
+			continue
+		}
+		grants = append(grants, Grant{
+			Lease:       l.id,
+			Job:         l.jobID,
+			DfT:         l.dft,
+			Key:         l.key,
+			Fingerprint: j.Fingerprint(),
+			TTLMillis:   s.disp.ttl.Milliseconds(),
+			Spec:        j.Spec(),
+		})
+	}
+	if len(grants) == 0 {
+		writeError(w, http.StatusInternalServerError, "jobs vanished under %d leases", len(leases))
 		return
 	}
-	writeJSON(w, http.StatusOK, Grant{
-		Lease:       l.id,
-		Job:         l.jobID,
-		DfT:         l.dft,
-		Key:         l.key,
-		Fingerprint: j.Fingerprint(),
-		TTLMillis:   s.disp.ttl.Milliseconds(),
-		Spec:        j.Spec(),
-	})
+	if max == 1 {
+		writeJSON(w, http.StatusOK, grants[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, GrantBatch{Grants: grants})
 }
 
 // handleUnitResult accepts a leased unit's outcome. 410 Gone means the

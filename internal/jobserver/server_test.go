@@ -450,6 +450,88 @@ func TestHTTPValidation(t *testing.T) {
 	resp.Body.Close()
 }
 
+// TestDispatcherBatchGrants pins the batched-lease protocol at the
+// dispatcher level, where it is deterministic: a waiter parked with
+// capacity 3 absorbs three consecutive offers into one round-trip, a
+// fourth offer finds no waiter (the capacity is spent and the waiter
+// has left the FIFO), and each grant is an independent lease with its
+// own id, result channel and TTL timer.
+func TestDispatcherBatchGrants(t *testing.T) {
+	d := newDispatcher(context.Background(), time.Minute, nil)
+
+	type parkOut struct {
+		leases []*lease
+		err    error
+	}
+	out := make(chan parkOut, 1)
+	go func() {
+		ls, err := d.parkN(context.Background(), "batcher", "", 10*time.Second, 3)
+		out <- parkOut{ls, err}
+	}()
+
+	// Deterministic barrier: the waiter is in the FIFO once the registry
+	// reports it parked.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ws := d.WorkerStatuses()
+		if len(ws) == 1 && ws[0].Waiting {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var offered []*lease
+	for _, key := range []string{"u1", "u2", "u3"} {
+		l := d.offer("j1", "pre", key)
+		if l == nil {
+			t.Fatalf("offer %s found no waiter", key)
+		}
+		offered = append(offered, l)
+	}
+	// Capacity spent: the next offer must decline into the local path.
+	if l := d.offer("j1", "pre", "u4"); l != nil {
+		t.Fatalf("offer past the waiter capacity granted %s", l.id)
+	}
+
+	got := <-out
+	if got.err != nil {
+		t.Fatalf("parkN: %v", got.err)
+	}
+	if len(got.leases) != 3 {
+		t.Fatalf("parkN returned %d leases, want 3", len(got.leases))
+	}
+	seen := map[string]bool{}
+	for i, l := range got.leases {
+		if l != offered[i] {
+			t.Fatalf("grant %d is not the offered lease (order lost)", i)
+		}
+		if seen[l.id] {
+			t.Fatalf("duplicate lease id %s in batch", l.id)
+		}
+		seen[l.id] = true
+		if l.key != fmt.Sprintf("u%d", i+1) || l.jobID != "j1" || l.dft != "pre" {
+			t.Fatalf("grant %d: %+v", i, l)
+		}
+	}
+	// Per-unit semantics survive batching: heartbeat and result act on
+	// one lease without touching its batch-mates.
+	if !d.heartbeat(got.leases[0].id) {
+		t.Fatal("heartbeat on a batched lease failed")
+	}
+	if !d.postResult(got.leases[1].id, "j1", "u2", leaseResult{raw: json.RawMessage(`1`)}) {
+		t.Fatal("result on a batched lease refused")
+	}
+	if !d.heartbeat(got.leases[0].id) || !d.heartbeat(got.leases[2].id) {
+		t.Fatal("sibling leases died with their batch-mate's result")
+	}
+	if d.heartbeat(got.leases[1].id) {
+		t.Fatal("completed lease still heartbeats")
+	}
+}
+
 // TestSubmitAfterShutdown: a shut-down server refuses new work.
 func TestSubmitAfterShutdown(t *testing.T) {
 	srv := New(Options{Budget: 1})

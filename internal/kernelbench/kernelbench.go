@@ -18,6 +18,7 @@ package kernelbench
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -116,6 +117,17 @@ func ladderBridge() faults.Class {
 		Fault: faults.Fault{Kind: faults.Short, Nets: []string{"t096", "t128"}, Res: 25},
 		Count: 1,
 	}
+}
+
+// sumCounter folds one counter across every stage of an aggregator
+// snapshot (checkout counters land in the inject stage, the goodspace
+// cases' per-die counters in the goodspace stages).
+func sumCounter(agg *obs.Agg, c obs.Counter) int64 {
+	var n int64
+	for _, st := range agg.Snapshot() {
+		n += st.Counters[c.Name()]
+	}
+	return n
 }
 
 // Cases returns the kernel benchmark suite.
@@ -252,6 +264,85 @@ func Cases() []Case {
 			}
 			if n := met.Get(obs.CtrRank1Solves); n < int64(b.N) {
 				b.Fatalf("rank1_solves = %d over %d timed ops", n, b.N)
+			}
+		}},
+		{Name: "rebind/comparator-revalue", Bench: func(b *testing.B) {
+			// The compile-once/revalue-many quantum: every iteration is a
+			// full comparator response for a different Monte Carlo die,
+			// served by the same pooled engine revalued in place.
+			// Pre-rebind the pool keyed on the Variation, so a die change
+			// meant a netlist rebuild and symbolic recompile per response;
+			// the counter guard pins that the timed ops never take that
+			// path anymore.
+			m := macros.NewComparator(macros.DefaultVehicle())
+			met := &obs.Metrics{}
+			pool := macros.NewEnginePool()
+			rng := rand.New(rand.NewSource(1))
+			vars := make([]macros.Variation, 8)
+			for i := range vars {
+				vars[i] = macros.Draw(rng)
+				for vars[i].FFLeakA <= 1e-9 { // keep one topology key
+					vars[i] = macros.Draw(rng)
+				}
+			}
+			opt := func(i int) macros.RespondOpts {
+				return macros.RespondOpts{Var: vars[i%len(vars)], CurrentsOnly: true,
+					Pool: pool, Metrics: met}
+			}
+			// Warm a full pass through the die cycle so the timed ops
+			// measure the steady revalue path, not first-sight symbolic
+			// learning — otherwise allocs/op depends on benchtime.
+			for i := range vars {
+				if _, err := m.Respond(context.Background(), nil, opt(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			warm := met.Get(obs.CtrFullRebuilds)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Respond(context.Background(), nil, opt(i+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if n := met.Get(obs.CtrFullRebuilds) - warm; n != 0 {
+				b.Fatalf("full_rebuilds = %d during revalue-only iterations, want 0", n)
+			}
+			if n := met.Get(obs.CtrRebindHits); n < int64(b.N) {
+				b.Fatalf("rebind_hits = %d over %d timed ops", n, b.N)
+			}
+		}},
+		{Name: "rebind/dies-revalue", Bench: func(b *testing.B) {
+			// The good-space compile with the die loop pinned serial: all
+			// 12 quick-config dies run through one worker's private pool,
+			// so die 0 compiles the engines and the remaining dies revalue
+			// them in place. A fresh pipeline per op (GoodSpace memoises
+			// its result); the guard pins that rebinds dominate rebuilds —
+			// the per-die full-rebuild regime would fail it.
+			cfg := core.QuickConfig()
+			run := func() *obs.Agg {
+				agg := obs.NewAgg()
+				p := core.NewPipeline(cfg)
+				p.GoodSpaceWorkers = 1
+				p.Obs = obs.New(agg)
+				if _, err := p.GoodSpace(context.Background(), false); err != nil {
+					b.Fatal(err)
+				}
+				return agg
+			}
+			agg := run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agg = run()
+			}
+			b.StopTimer()
+			rebinds := sumCounter(agg, obs.CtrRebindHits)
+			rebuilds := sumCounter(agg, obs.CtrFullRebuilds)
+			if rebinds <= rebuilds {
+				b.Fatalf("rebind_hits (%d) must dominate full_rebuilds (%d) across the dies",
+					rebinds, rebuilds)
 			}
 		}},
 		{Name: "analyzeclass/ladder-bridge", Bench: func(b *testing.B) {

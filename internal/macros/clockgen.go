@@ -42,6 +42,14 @@ var cgWidths = []float64{4, 8, 16, 32}
 // static phase inputs.
 func (m *ClockgenMacro) buildClockgenCircuit(phis [3]float64, v Variation) *netlist.Builder {
 	b := netlist.NewBuilder()
+	m.buildClockgenInto(b, phis, v)
+	return b
+}
+
+// buildClockgenInto runs the construction against the given builder — a
+// plain builder for a simulation circuit, a recording one for the
+// rebind binding (one construction path, so the two cannot drift).
+func (m *ClockgenMacro) buildClockgenInto(b *netlist.Builder, phis [3]float64, v Variation) {
 	vdd := VDD * v.VddScale
 	b.Vsrc("vddd", "vddd", "0", netlist.DC(vdd))
 	nm, pm := nmosModel(v), pmosModel(v)
@@ -58,7 +66,6 @@ func (m *ClockgenMacro) buildClockgenCircuit(phis [3]float64, v Variation) *netl
 			in = out
 		}
 	}
-	return b
 }
 
 // clockgen test states: the three one-hot phase patterns plus all-idle.
@@ -70,24 +77,45 @@ var cgStates = [][3]float64{
 }
 
 // Respond implements Macro: a DC operating point per static state, with
-// IDDQ and output-level observations.
+// IDDQ and output-level observations. One engine serves all four states
+// — the states differ only in the phase-source DC levels, which are
+// retuned between operating points (B-side only, so each state's solve
+// is bit-identical to a per-state fresh build: Newton restarts from the
+// zero vector every time).
 func (m *ClockgenMacro) Respond(ctx context.Context, f *faults.Fault, opt RespondOpts) (*signature.Response, error) {
 	resp := &signature.Response{Currents: map[string]float64{}}
 	vdd := VDD * opt.Var.VddScale
 	stuck := false
 	deviant := false
+	io := faults.InjectOptions{NonCat: opt.NonCat}
+	isp := opt.span(obs.StageInject, m.Name())
+	key := engineKey{macro: m.Name(), fault: faultKey(f, io)}
+	eng, release, err := checkoutEngine(opt, engineCheckout{
+		key: key,
+		f:   f, io: io,
+		baseBinding: func() *netlist.Binding {
+			return opt.Pool.baseBinding(key, opt.Var, func(bind *netlist.Binding) {
+				m.buildClockgenInto(netlist.NewRecorder(bind), cgStates[0], opt.Var)
+			})
+		},
+		build: func() *netlist.Builder { return m.buildClockgenCircuit(cgStates[0], opt.Var) },
+	})
+	isp.End()
+	if err != nil {
+		return nil, err
+	}
+	if release != nil {
+		defer release()
+	}
 	for si, st := range cgStates {
-		sp := opt.span(obs.StageInject, m.Name())
-		b := m.buildClockgenCircuit(st, opt.Var)
-		if f != nil {
-			if err := faults.Inject(b.C, *f, procShared, faults.InjectOptions{NonCat: opt.NonCat}); err != nil {
+		sp := opt.span(obs.StageFaultSim, m.Name())
+		for i := 1; i <= 3; i++ {
+			if err := eng.RetuneVSource(fmt.Sprintf("vphi%d", i), netlist.DC(st[i-1]*vdd)); err != nil {
 				sp.End()
 				return nil, err
 			}
 		}
-		sp.End()
-		sp = opt.span(obs.StageFaultSim, m.Name())
-		sol, err := spice.New(b.C, opt.simOptions()).OP(ctx)
+		sol, err := eng.OP(ctx)
 		sp.End()
 		if err != nil {
 			if f == nil || spice.IsCancelled(err) {

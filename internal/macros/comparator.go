@@ -49,7 +49,7 @@ func NewComparatorWithRef(veh Vehicle, vref float64) *ComparatorMacro {
 // signatures are classified on the offset *deviation* from this value —
 // the systematic part is shared by all of the vehicle's slices and
 // therefore part of the good signature.
-func (m *ComparatorMacro) nominalOffset(ctx context.Context, dft bool) (float64, error) {
+func (m *ComparatorMacro) nominalOffset(ctx context.Context, dft bool, pool *EnginePool, base *Baselines) (float64, error) {
 	m.mu.Lock()
 	if off, ok := m.offNom[dft]; ok {
 		m.mu.Unlock()
@@ -61,8 +61,12 @@ func (m *ComparatorMacro) nominalOffset(ctx context.Context, dft bool) (float64,
 	// parallel fault-class analysis behind the first caller. The
 	// computation is deterministic, so concurrent first callers compute
 	// the same value and the first store wins. A cancelled bisection is
-	// NOT cached — the next caller recomputes.
-	off, ok, err := m.bisectOffset(ctx, nil, RespondOpts{Var: Nominal(), DfT: dft}, 0)
+	// NOT cached — the next caller recomputes. The caller's pool and
+	// baseline cache are threaded through so the bisection's engines are
+	// rebind-served like any other fault-free run.
+	off, ok, err := m.bisectOffset(ctx, nil, RespondOpts{
+		Var: Nominal(), DfT: dft, Pool: pool, Base: base,
+	}, 0, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -178,8 +182,17 @@ func addBiasGenerator(b *netlist.Builder, v Variation) {
 // comparator slice (supply vdda), bias generator (vddb), clock buffer
 // stage (vddd), ideal phase inputs and the vin/vref sources.
 func (m *ComparatorMacro) buildComparatorCircuit(vin float64, opt RespondOpts) *netlist.Builder {
-	v := opt.Var
 	b := netlist.NewBuilder()
+	m.buildComparatorInto(b, vin, opt)
+	return b
+}
+
+// buildComparatorInto runs the testbench construction against the given
+// builder — a plain builder for a simulation circuit, a recording one
+// (netlist.NewRecorder) for the rebind binding. One construction path
+// serves both, so a recorded binding cannot drift from a built circuit.
+func (m *ComparatorMacro) buildComparatorInto(b *netlist.Builder, vin float64, opt RespondOpts) {
+	v := opt.Var
 	vdd := VDD * v.VddScale
 
 	// Supplies: separate sources so each current is observable.
@@ -258,7 +271,28 @@ func (m *ComparatorMacro) buildComparatorCircuit(vin float64, opt RespondOpts) *
 		b.MOS("mleak", "lk", "clk1", "0", "0", 20, 1, nm)
 		b.R("rleak", "vdda", "lk", rleak)
 	}
-	return b
+}
+
+// cmpSession caches the recorded base binding across the runs of one
+// comparator analysis variant: the lo/hi extremes and every bisection
+// step share (Var, DfT, vref) — only the input level and the fault
+// conductances move between them, and those are rebound per checkout.
+type cmpSession struct {
+	bind *netlist.Binding
+}
+
+// binding returns the session's base binding, fetching it from the
+// pool's per-key cache (recording one when the cache misses or holds
+// another variation's values). The input-source slot is recorded at the
+// session's reference level (vinLow); checkouts retune the actual input
+// after the rebind (B-side only).
+func (s *cmpSession) binding(m *ComparatorMacro, opt RespondOpts, key engineKey) *netlist.Binding {
+	if s.bind == nil {
+		s.bind = opt.Pool.baseBinding(key, opt.Var, func(bind *netlist.Binding) {
+			m.buildComparatorInto(netlist.NewRecorder(bind), vinLow, opt)
+		})
+	}
+	return s.bind
 }
 
 // tranRun holds the distilled observations of one transient.
@@ -273,42 +307,44 @@ type tranRun struct {
 }
 
 // runOnce simulates one full three-phase conversion at the given input.
-// Fault-free runs go through the engine pool when one is attached: the
-// testbench is identical for every fault-free run of one (vref, DfT,
-// variation) — only the vvin waveform differs, and retuning it on a
-// checked-out engine is bit-identical to building afresh (the value
-// reaches only the right-hand side). Faulty runs always build fresh.
-func (m *ComparatorMacro) runOnce(ctx context.Context, vin float64, f *faults.Fault, opt RespondOpts, gos faults.GOSVariant) (*tranRun, error) {
+// Runs go through the engine pool when one is attached: the testbench
+// topology is identical for every run of one (vref, DfT, leak, fault)
+// key, so a pooled engine is revalued in place — die variation values,
+// fault conductances and the input level rebound onto the compiled
+// structure, bit-identical to building afresh. Topology-changing faults
+// build fresh and bypass the pool.
+func (m *ComparatorMacro) runOnce(ctx context.Context, vin float64, f *faults.Fault, opt RespondOpts, gos faults.GOSVariant, ses *cmpSession) (*tranRun, error) {
+	if ses == nil {
+		ses = &cmpSession{}
+	}
 	sp := opt.span(obs.StageInject, m.Name())
-	var eng *spice.Engine
-	var key engineKey
-	pooled := f == nil && opt.Pool != nil
-	if pooled {
-		key = engineKey{macro: m.Name(), vref: m.VRef, dft: opt.DfT, v: opt.Var}
-		if eng = opt.Pool.acquire(key); eng != nil {
-			eng.SetMetrics(opt.Metrics)
-			if err := eng.RetuneVSource("vvin", netlist.DC(vin)); err != nil {
-				sp.End()
-				return nil, err
-			}
-		}
+	io := faults.InjectOptions{NonCat: opt.NonCat, GOS: gos}
+	key := engineKey{
+		macro: m.Name(), vref: m.VRef, dft: opt.DfT,
+		leak:  !opt.DfT && opt.Var.FFLeakA > 1e-9,
+		fault: faultKey(f, io),
 	}
-	if eng == nil {
-		b := m.buildComparatorCircuit(vin, opt)
-		if f != nil {
-			if err := faults.Inject(b.C, *f, procShared, faults.InjectOptions{
-				NonCat: opt.NonCat, GOS: gos,
-			}); err != nil {
-				sp.End()
-				return nil, err
-			}
-		}
-		eng = spice.New(b.C, opt.simOptions())
+	eng, release, err := checkoutEngine(opt, engineCheckout{
+		key: key,
+		f:   f, io: io,
+		baseBinding: func() *netlist.Binding { return ses.binding(m, opt, key) },
+		build:       func() *netlist.Builder { return m.buildComparatorCircuit(vin, opt) },
+	})
+	if err != nil {
+		sp.End()
+		return nil, err
 	}
-	if pooled {
+	if release != nil {
 		// Check back in only after the run's measurements are extracted:
 		// the Tran below aliases engine-owned snapshot storage.
-		defer opt.Pool.release(key, eng)
+		defer release()
+	}
+	// A rebound engine carries the session's reference input; the actual
+	// level is retuned per run (B-side only — on a fresh build this
+	// re-assigns the value it was built with, bit-identically).
+	if err := eng.RetuneVSource("vvin", netlist.DC(vin)); err != nil {
+		sp.End()
+		return nil, err
 	}
 	sp.End()
 	sp = opt.span(obs.StageFaultSim, m.Name())
@@ -415,11 +451,12 @@ func (m *ComparatorMacro) nominalResponse(ctx context.Context, opt RespondOpts) 
 }
 
 func (m *ComparatorMacro) respondVariant(ctx context.Context, f *faults.Fault, opt RespondOpts, gos faults.GOSVariant) (*signature.Response, error) {
-	lo, err := m.runOnce(ctx, vinLow, f, opt, gos)
+	ses := &cmpSession{}
+	lo, err := m.runOnce(ctx, vinLow, f, opt, gos, ses)
 	if err != nil {
 		return nil, err
 	}
-	hi, err := m.runOnce(ctx, vinHigh, f, opt, gos)
+	hi, err := m.runOnce(ctx, vinHigh, f, opt, gos, ses)
 	if err != nil {
 		return nil, err
 	}
@@ -460,7 +497,7 @@ func (m *ComparatorMacro) respondVariant(ctx context.Context, f *faults.Fault, o
 	default:
 		// Proper polarity: locate the trip point by bisection and
 		// compare to the design's systematic offset.
-		off, ok, err := m.bisectOffset(ctx, f, opt, gos)
+		off, ok, err := m.bisectOffset(ctx, f, opt, gos, ses)
 		if err != nil {
 			csp.End()
 			return nil, err
@@ -469,7 +506,7 @@ func (m *ComparatorMacro) respondVariant(ctx context.Context, f *faults.Fault, o
 		case !ok:
 			resp.Voltage = signature.VSigMixed
 		default:
-			nomOff, err := m.nominalOffset(ctx, opt.DfT)
+			nomOff, err := m.nominalOffset(ctx, opt.DfT, opt.Pool, opt.Base)
 			if err != nil {
 				csp.End()
 				return nil, err
@@ -527,11 +564,14 @@ func propagateSlice(veh Vehicle, resp *signature.Response) bool {
 // The error is non-nil only when the bisection was aborted (cancellation
 // or an injection failure), so a half-finished bisection is never
 // classified as a signature.
-func (m *ComparatorMacro) bisectOffset(ctx context.Context, f *faults.Fault, opt RespondOpts, gos faults.GOSVariant) (float64, bool, error) {
+func (m *ComparatorMacro) bisectOffset(ctx context.Context, f *faults.Fault, opt RespondOpts, gos faults.GOSVariant, ses *cmpSession) (float64, bool, error) {
+	if ses == nil {
+		ses = &cmpSession{}
+	}
 	lo, hi := vinLow, vinHigh
 	for i := 0; i < 11; i++ {
 		mid := (lo + hi) / 2
-		run, err := m.runOnce(ctx, mid, f, opt, gos)
+		run, err := m.runOnce(ctx, mid, f, opt, gos, ses)
 		if err != nil {
 			return 0, false, err
 		}

@@ -13,7 +13,7 @@ import (
 func TestComparatorFaultFreeDecisions(t *testing.T) {
 	m := NewComparator(DefaultVehicle())
 	opt := RespondOpts{Var: Nominal()}
-	lo, err := m.runOnce(context.Background(), vinLow, nil, opt, 0)
+	lo, err := m.runOnce(context.Background(), vinLow, nil, opt, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestComparatorFaultFreeDecisions(t *testing.T) {
 	if lo.decision != 0 {
 		t.Fatalf("decision(vin<vref) = %d (out=%.3g), want 0", lo.decision, lo.outV)
 	}
-	hi, err := m.runOnce(context.Background(), vinHigh, nil, opt, 0)
+	hi, err := m.runOnce(context.Background(), vinHigh, nil, opt, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,19 +52,19 @@ func TestComparatorSmallInputResolved(t *testing.T) {
 	// 4 mV above the design trip point must resolve to 1; 4 mV below
 	// to 0 (the trip point includes the systematic charge-injection
 	// offset, as in silicon).
-	nomOff, err := m.nominalOffset(context.Background(), false)
+	nomOff, err := m.nominalOffset(context.Background(), false, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	trip := m.VRef + nomOff
-	up, err := m.runOnce(context.Background(), trip+4e-3, nil, opt, 0)
+	up, err := m.runOnce(context.Background(), trip+4e-3, nil, opt, 0, nil)
 	if err != nil || up.failed {
 		t.Fatalf("up: %v failed=%v", err, up != nil && up.failed)
 	}
 	if up.decision != 1 {
 		t.Fatalf("decision(vref+4mV) = %d (out=%.3g)", up.decision, up.outV)
 	}
-	dn, err := m.runOnce(context.Background(), trip-4e-3, nil, opt, 0)
+	dn, err := m.runOnce(context.Background(), trip-4e-3, nil, opt, 0, nil)
 	if err != nil || dn.failed {
 		t.Fatal("down failed")
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 
 	"repro/internal/digital"
 	"repro/internal/faults"
@@ -29,15 +30,45 @@ type DecoderMacro struct {
 	// and output width derive from it.
 	Veh Vehicle
 	ckt *digital.Circuit
+	// tIdx/bIdx are the compiled net slots of the thermometer inputs
+	// (tIdx[i-1] ↔ t net i) and output bits — resolved once so the
+	// per-level decode sweep runs name-free over a reused scratch.
+	tIdx    []int
+	bIdx    []int
+	scratch sync.Pool
 }
 
 // tnet names thermometer input i (1-based).
 func tnet(i int) string { return fmt.Sprintf("t%03d", i) }
 
 // NewDecoder builds the decoder macro of the given vehicle (the gate
-// network is constructed once and shared).
+// network is constructed once and shared, index-compiled for the
+// decode sweep).
 func NewDecoder(veh Vehicle) *DecoderMacro {
-	return &DecoderMacro{Veh: veh, ckt: buildDecoderCircuit(veh)}
+	m := &DecoderMacro{Veh: veh, ckt: buildDecoderCircuit(veh)}
+	for i := 1; i <= veh.DecoderInputs(); i++ {
+		idx, ok := m.ckt.NetIndex(tnet(i))
+		if !ok {
+			panic("macros: decoder input net missing: " + tnet(i))
+		}
+		m.tIdx = append(m.tIdx, idx)
+	}
+	for bit := 0; bit < veh.Bits; bit++ {
+		name := fmt.Sprintf("b%d", bit)
+		idx, ok := m.ckt.NetIndex(name)
+		if !ok {
+			panic("macros: decoder output net missing: " + name)
+		}
+		m.bIdx = append(m.bIdx, idx)
+	}
+	m.scratch.New = func() any {
+		s, err := m.ckt.NewScratch()
+		if err != nil {
+			panic(err) // unreachable: NetIndex above already compiled
+		}
+		return s
+	}
+	return m
 }
 
 // Name implements Macro.
@@ -111,21 +142,23 @@ func buildOrTree(c *digital.Circuit, out string, ins []string) {
 // decode runs the gate network on the thermometer code for input level k
 // (comparators 1..k fire) and returns the output code.
 func (m *DecoderMacro) decode(k int, f digital.Fault) (int, bool, error) {
-	in := map[string]bool{}
-	for i := 1; i <= m.Veh.DecoderInputs(); i++ {
-		in[tnet(i)] = i <= k
+	s := m.scratch.Get().(*digital.Scratch)
+	defer m.scratch.Put(s)
+	s.Reset()
+	for i, idx := range m.tIdx {
+		s.Set(idx, i+1 <= k)
 	}
-	res, err := m.ckt.Eval(in, f)
+	iddq, _, err := m.ckt.EvalInto(s, f)
 	if err != nil {
 		return 0, false, err
 	}
 	code := 0
-	for bit := 0; bit < m.Veh.Bits; bit++ {
-		if res.Values[fmt.Sprintf("b%d", bit)] {
+	for bit, idx := range m.bIdx {
+		if s.Val(idx) {
 			code |= 1 << bit
 		}
 	}
-	return code, res.IDDQ, nil
+	return code, iddq, nil
 }
 
 // mapFault converts a layout-extracted fault record into the gate-level

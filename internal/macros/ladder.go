@@ -45,14 +45,21 @@ func tapName(k int) string { return fmt.Sprintf("t%03d", k) }
 // buildLadderCircuit constructs the resistor string with its reference
 // sources. Taps 0 and 2^N are the external terminals.
 func (l *LadderMacro) buildLadderCircuit(v Variation) *netlist.Builder {
-	segs, rseg := l.Veh.LadderSegments(), l.Veh.RSeg()
 	b := netlist.NewBuilder()
+	l.buildLadderInto(b, v)
+	return b
+}
+
+// buildLadderInto runs the construction against the given builder — a
+// plain builder for a simulation circuit, a recording one for the
+// rebind binding (one construction path, so the two cannot drift).
+func (l *LadderMacro) buildLadderInto(b *netlist.Builder, v Variation) {
+	segs, rseg := l.Veh.LadderSegments(), l.Veh.RSeg()
 	b.Vsrc("vrefhi", tapName(segs), "0", netlist.DC(VRefHi))
 	b.Vsrc("vreflo", tapName(0), "0", netlist.DC(VRefLo))
 	for i := 0; i < segs; i++ {
 		b.R(fmt.Sprintf("r%03d", i), tapName(i), tapName(i+1), rseg*v.RhoScale)
 	}
-	return b
 }
 
 // solveTaps returns the tap voltages and terminal currents. Faulted
@@ -68,17 +75,30 @@ func (l *LadderMacro) solveTaps(ctx context.Context, f *faults.Fault, opt Respon
 		}
 		opt.Metrics.Add(obs.CtrRank1Fallbacks, 1)
 	}
+	io := faults.InjectOptions{NonCat: opt.NonCat}
 	sp := opt.span(obs.StageInject, l.Name())
-	b := l.buildLadderCircuit(opt.Var)
-	if f != nil {
-		if err := faults.Inject(b.C, *f, procShared, faults.InjectOptions{NonCat: opt.NonCat}); err != nil {
-			sp.End()
-			return nil, 0, 0, err
-		}
-	}
+	key := engineKey{macro: l.Name(), fault: faultKey(f, io)}
+	eng, release, err := checkoutEngine(opt, engineCheckout{
+		key: key,
+		f:   f, io: io,
+		baseBinding: func() *netlist.Binding {
+			return opt.Pool.baseBinding(key, opt.Var, func(bind *netlist.Binding) {
+				l.buildLadderInto(netlist.NewRecorder(bind), opt.Var)
+			})
+		},
+		build: func() *netlist.Builder { return l.buildLadderCircuit(opt.Var) },
+	})
 	sp.End()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if release != nil {
+		// Release only after the tap voltages are copied out: the
+		// Solution below aliases engine-owned storage.
+		defer release()
+	}
 	sp = opt.span(obs.StageFaultSim, l.Name())
-	sol, err := spice.New(b.C, opt.simOptions()).OP(ctx)
+	sol, err := eng.OP(ctx)
 	sp.End()
 	if err != nil {
 		return nil, 0, 0, err

@@ -42,15 +42,18 @@ func TestPooledRespondBitIdentical(t *testing.T) {
 	}
 }
 
-// TestFaultyRespondBypassesPool is the pool-invalidation contract: a
-// faulty run must neither check out a pooled fault-free engine (its
-// topology is rewritten by injection) nor check its own engine in, and a
-// fault-free run after it must still see an unpoisoned pool.
-func TestFaultyRespondBypassesPool(t *testing.T) {
+// TestFaultyRespondPoolIsolation is the pool-isolation contract of the
+// structure-keyed pool: a conductance-only faulty run pools its engine
+// under the fault's own key — never under (or out of) the fault-free
+// key — so fault-free responses after a faulty run stay bit-identical;
+// a topology-changing fault (an open splits nodes) has no stable
+// topology key and must leave the pool entirely untouched.
+func TestFaultyRespondPoolIsolation(t *testing.T) {
 	m := NewComparator(DefaultVehicle())
 	ctx := context.Background()
 	pool := NewEnginePool()
-	opt := RespondOpts{Var: Nominal(), CurrentsOnly: true, Pool: pool}
+	met := &obs.Metrics{}
+	opt := RespondOpts{Var: Nominal(), CurrentsOnly: true, Pool: pool, Metrics: met}
 
 	fresh, err := m.Respond(ctx, nil, opt)
 	if err != nil {
@@ -61,16 +64,26 @@ func TestFaultyRespondBypassesPool(t *testing.T) {
 		t.Fatal("fault-free run did not populate the pool")
 	}
 
+	// Conductance-only: a bridge between existing nets. Its engine pools
+	// under the fault key, and the repeat run is served by rebind.
 	f := &faults.Fault{Kind: faults.Short, Nets: []string{"o1", "vss"}, Res: 0.2}
 	faulty, err := m.Respond(ctx, f, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := pool.size(); got != warm {
-		t.Fatalf("faulty run changed the pool: size %d -> %d", warm, got)
-	}
 	if reflect.DeepEqual(fresh, faulty) {
 		t.Fatal("hard short produced the fault-free response; fault was not injected")
+	}
+	hits := met.Get(obs.CtrRebindHits)
+	faulty2, err := m.Respond(ctx, f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Get(obs.CtrRebindHits) <= hits {
+		t.Fatal("repeated conductance-only fault was not served by rebind")
+	}
+	if !reflect.DeepEqual(faulty, faulty2) {
+		t.Fatalf("rebind-served faulty response diverged:\nwant %+v\ngot  %+v", faulty, faulty2)
 	}
 
 	after, err := m.Respond(ctx, nil, opt)
@@ -79,6 +92,27 @@ func TestFaultyRespondBypassesPool(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fresh, after) {
 		t.Fatalf("fault-free response after a faulty run diverged:\nwant %+v\ngot  %+v", fresh, after)
+	}
+
+	// Topology-changing: an open on m1's drain. Never pooled.
+	rebuilds := met.Get(obs.CtrFullRebuilds)
+	size := pool.size()
+	open := &faults.Fault{Kind: faults.Open, Nets: []string{"o1"},
+		FarTerminals: []faults.Terminal{{Device: "m1", Net: "o1"}}}
+	if _, err := m.Respond(ctx, open, opt); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.size(); got != size {
+		t.Fatalf("topology-changing fault changed the pool: size %d -> %d", size, got)
+	}
+	if met.Get(obs.CtrFullRebuilds) <= rebuilds {
+		t.Fatal("topology-changing fault did not count a full rebuild")
+	}
+	if _, err := m.Respond(ctx, open, opt); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.size(); got != size {
+		t.Fatalf("repeated topology-changing fault changed the pool: size %d -> %d", size, got)
 	}
 }
 

@@ -26,6 +26,13 @@ type Circuit struct {
 	names  []string
 	byName map[string]NodeID
 	Elems  []Element
+
+	// elemIdx lazily indexes Elems by name for rebinding and lookups;
+	// idxLen is how many of Elems it has absorbed. The index is only
+	// materialised on first use, so circuits that are built once and
+	// never rebound pay nothing.
+	elemIdx map[string]Element
+	idxLen  int
 }
 
 // New returns an empty circuit containing only the ground node "0".
@@ -64,12 +71,26 @@ func (c *Circuit) Add(e Element) { c.Elems = append(c.Elems, e) }
 
 // Element returns the element with the given name, or nil.
 func (c *Circuit) Element(name string) Element {
-	for _, e := range c.Elems {
-		if e.Name() == name {
-			return e
+	return c.elemByName(name)
+}
+
+// elemByName looks an element up through the lazy index, extending it
+// over any elements appended since the last lookup (fault injection
+// adds elements after construction). Duplicate labels keep the first
+// occurrence, matching the linear scan this replaced.
+func (c *Circuit) elemByName(name string) Element {
+	if c.idxLen < len(c.Elems) {
+		if c.elemIdx == nil {
+			c.elemIdx = make(map[string]Element, len(c.Elems))
 		}
+		for _, e := range c.Elems[c.idxLen:] {
+			if _, dup := c.elemIdx[e.Name()]; !dup {
+				c.elemIdx[e.Name()] = e
+			}
+		}
+		c.idxLen = len(c.Elems)
 	}
-	return nil
+	return c.elemIdx[name]
 }
 
 // NodeNames returns the sorted names of all non-ground nodes.

@@ -116,6 +116,20 @@ const (
 	// posted an error) and were handed back to the engine's bounded
 	// retry, which re-runs them locally.
 	CtrRemoteRetries
+	// CtrRebindHits counts simulations served by revaluing a pooled
+	// compiled engine in place (new die Variation, fault conductance or
+	// stimulus slice bound onto the same topology) instead of building a
+	// fresh netlist + engine.
+	CtrRebindHits
+	// CtrFullRebuilds counts simulations that built a fresh circuit and
+	// engine: structure-cache misses and topology-changing faults (node
+	// splits, new devices) that the rebind path must not serve.
+	CtrFullRebuilds
+	// CtrPatternReuse counts Revalue calls that retained a compiled
+	// sparse symbolic analysis (the engine already held a learned
+	// pattern, so the revalued solves skip the pattern probe and the
+	// symbolic elimination re-derivation).
+	CtrPatternReuse
 
 	// NumCounters is the size of a Metrics block.
 	NumCounters
@@ -139,6 +153,9 @@ var counterNames = [NumCounters]string{
 	"leases_expired",
 	"remote_results",
 	"remote_retries",
+	"rebind_hits",
+	"full_rebuilds",
+	"pattern_reuse_hits",
 }
 
 // Name returns the canonical (JSON) name of the counter.

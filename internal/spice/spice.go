@@ -247,14 +247,14 @@ func (e *Engine) SetMetrics(m *obs.Metrics) {
 }
 
 // RetuneVSource replaces the waveform of the named voltage source on a
-// live engine. This is the one element mutation that is safe after
-// spice.New: a VSource's matrix stamps are its value-independent ±1
+// live engine. A VSource's matrix stamps are its value-independent ±1
 // aux couplings, so the recorded A-side replay stays valid, and the
 // source value reaches only the right-hand side, which every solve
 // re-records — analyses after a retune are bit-identical to those of a
-// fresh engine built with the new waveform. (Retuning any value-bearing
-// element kind — resistors, capacitors — would corrupt the A-side
-// recording; only VSources are permitted.)
+// fresh engine built with the new waveform. (Mutating any other
+// value-bearing element kind — resistors, capacitors, MOS models —
+// must go through Revalue, which drops the A-side recording when one
+// of those values changes.)
 func (e *Engine) RetuneVSource(name string, w netlist.Waveform) error {
 	el := e.Ckt.Element(name)
 	if el == nil {
@@ -266,6 +266,72 @@ func (e *Engine) RetuneVSource(name string, w netlist.Waveform) error {
 	}
 	vs.W = w
 	return nil
+}
+
+// Revalue applies a parameter binding to the engine's circuit in place:
+// the compile-once/revalue-many entry point. The topology is untouched,
+// so every compiled artifact is retained — node and aux numbering, the
+// per-mode stamp programs, the structural sparsity patterns and the
+// sparse symbolic analyses (the cached elimination is pivot-verified
+// per factorisation with a bit-identical dense fallback, so revalued
+// matrices are automatically safe on the cached structure). Only when
+// an A-side value actually changed (bitwise) is the A-side stamp
+// recording dropped; a B-side-only rebind — retuning sources between
+// ramp slices — keeps it, generalising the RetuneVSource rule.
+//
+// After a successful Revalue the engine's analyses are bit-identical to
+// those of a freshly built engine whose builder produced the bound
+// values: the next solve re-records the linear stamps from the new
+// element fields through the same code in the same element order.
+//
+// On error the circuit may be partially revalued; the caller must
+// discard the engine (the macro layer falls back to a full rebuild).
+func (e *Engine) Revalue(b *netlist.Binding) error {
+	aChanged, err := e.Ckt.Rebind(b)
+	if err != nil {
+		return err
+	}
+	if aChanged {
+		e.recValid = false
+	}
+	if e.slu[netlist.DCOp] != nil || e.slu[netlist.Transient] != nil {
+		// The revalued solves will reuse a learned symbolic analysis
+		// instead of re-probing the pattern and re-learning.
+		e.met.Add(obs.CtrPatternReuse, 1)
+	}
+	return nil
+}
+
+// StampChecksum assembles the mode's linearised system at the all-zero
+// iterate (time t, timestep dt, default gmin, unit source scale) and
+// returns an FNV-1a hash over the exact float64 bits of the matrix and
+// right-hand side. Two engines whose checksums match for a mode stamp
+// bit-identical systems there — the verification hook behind the
+// rebind-equals-rebuild property tests. It shares the solve workspaces,
+// so it must not be called concurrently with an analysis; interleaving
+// it between analyses is safe (each solve re-records its own stamps).
+func (e *Engine) StampChecksum(mode netlist.StampMode, t, dt float64) uint64 {
+	e.beginSolve(mode, t, dt, e.Opt.Gmin, 1, e.zeros)
+	e.assemble(e.zeros)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v float64) {
+		bits := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= prime64
+		}
+	}
+	for _, v := range e.a.A {
+		mix(v)
+	}
+	for _, v := range e.b {
+		mix(v)
+	}
+	return h
 }
 
 // bind installs the context governing one top-level analysis. A nil ctx

@@ -29,6 +29,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,11 @@ type Options struct {
 	Job string
 	// Slots is the number of units executed concurrently (<= 0 is 1).
 	Slots int
+	// MaxBatch caps how many units one lease round-trip may grant
+	// (?max=K on the lease endpoint). <= 0 lets the free-slot count
+	// bound the batch — the worker never leases more than it can start
+	// executing immediately.
+	MaxBatch int
 	// Wait bounds each lease long-poll (0 selects 30 s).
 	Wait time.Duration
 	// BackoffBase/BackoffMax shape the capped exponential retry backoff
@@ -70,6 +76,9 @@ type Stats struct {
 	// ones dropped because the lease died under us (410 on heartbeat or
 	// result); Released the ones handed back on graceful shutdown.
 	Leased, Results, Failed, Abandoned, Released int64
+	// Batched counts the units among Leased that arrived through a
+	// batched (?max=K, K > 1) lease response.
+	Batched int64
 }
 
 // Worker is one remote campaign worker. Create with New, drive with
@@ -81,7 +90,7 @@ type Worker struct {
 	mu        sync.Mutex
 	pipelines map[string]*core.Pipeline // by job fingerprint
 
-	leased, results, failed, abandoned, released atomic.Int64
+	leased, results, failed, abandoned, released, batched atomic.Int64
 }
 
 // New validates the options and builds a worker.
@@ -119,6 +128,7 @@ func (w *Worker) Stats() Stats {
 		Failed:    w.failed.Load(),
 		Abandoned: w.abandoned.Load(),
 		Released:  w.released.Load(),
+		Batched:   w.batched.Load(),
 	}
 }
 
@@ -161,58 +171,95 @@ func sleep(ctx context.Context, d time.Duration) {
 	}
 }
 
-// Run executes the lease loop on Slots goroutines until ctx cancels —
-// the graceful-shutdown path: an in-flight unit's lease is released so
-// the daemon re-queues it immediately instead of waiting out the TTL.
-// Run returns nil on cancellation.
+// Run executes the lease loop until ctx cancels — the graceful-shutdown
+// path: an in-flight unit's lease is released so the daemon re-queues
+// it immediately instead of waiting out the TTL. Run returns nil on
+// cancellation.
+//
+// One leaser goroutine long-polls on behalf of every slot, asking for
+// as many units as it has free slots (?max=K); each granted unit runs
+// on its own executor goroutine holding one slot token. A single-slot
+// worker therefore makes exactly the requests the old per-slot loop
+// did, while a wide worker fills all its slots in one round-trip.
 func (w *Worker) Run(ctx context.Context) error {
-	var wg sync.WaitGroup
-	for s := 0; s < w.opts.Slots; s++ {
-		wg.Add(1)
-		go func(slot int) {
-			defer wg.Done()
-			w.loop(ctx, slot)
-		}(s)
+	slots := w.opts.Slots
+	sem := make(chan struct{}, slots)
+	for i := 0; i < slots; i++ {
+		sem <- struct{}{}
 	}
-	wg.Wait()
-	return nil
-}
-
-// loop is one slot's lease→execute→post cycle.
-func (w *Worker) loop(ctx context.Context, slot int) {
+	var wg sync.WaitGroup
 	attempt := 0
 	for ctx.Err() == nil {
-		g, err := w.lease(ctx)
+		// Block until at least one slot is free, then sweep up the rest:
+		// the batch bound is exactly the capacity we can start now.
+		select {
+		case <-sem:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		free := 1
+	drain:
+		for free < slots {
+			select {
+			case <-sem:
+				free++
+			default:
+				break drain
+			}
+		}
+		max := free
+		if w.opts.MaxBatch > 0 && max > w.opts.MaxBatch {
+			max = w.opts.MaxBatch
+		}
+		gs, err := w.leaseN(ctx, max)
 		if err != nil {
+			for i := 0; i < free; i++ {
+				sem <- struct{}{}
+			}
 			if ctx.Err() != nil {
-				return
+				break
 			}
 			// Daemon down or refusing: back off and retry forever — a
 			// restarted daemon resumes its jobs from the checkpoint
 			// store, and this worker should be parked on it when it
 			// does.
 			if attempt == 0 || attempt%10 == 9 {
-				w.logf("slot %d: lease: %v (retrying)", slot, err)
+				w.logf("lease: %v (retrying)", err)
 			}
-			sleep(ctx, w.backoff(attempt+slot))
+			sleep(ctx, w.backoff(attempt))
 			attempt++
 			continue
 		}
 		attempt = 0
-		if g == nil {
-			continue // long-poll elapsed with no work; park again
+		for i := len(gs); i < free; i++ {
+			sem <- struct{}{} // slots the grant did not fill
 		}
-		w.leased.Add(1)
-		w.execute(ctx, g)
+		for _, g := range gs {
+			w.leased.Add(1)
+			wg.Add(1)
+			go func(g *jobserver.Grant) {
+				defer wg.Done()
+				defer func() { sem <- struct{}{} }()
+				w.execute(ctx, g)
+			}(g)
+		}
 	}
+	wg.Wait()
+	return nil
 }
 
-// lease long-polls for a grant: (nil, nil) means no work within the
-// wait.
-func (w *Worker) lease(ctx context.Context) (*jobserver.Grant, error) {
+// leaseN long-polls for up to max grants: (nil, nil) means no work
+// within the wait. max <= 1 speaks the original single-grant wire
+// shape, so this worker stays compatible with pre-batching daemons.
+func (w *Worker) leaseN(ctx context.Context, max int) ([]*jobserver.Grant, error) {
 	path := "/api/v1/lease"
 	if w.opts.Job != "" {
 		path = "/api/v1/jobs/" + url.PathEscape(w.opts.Job) + "/lease"
+	}
+	if max > 1 {
+		path += "?max=" + strconv.Itoa(max)
 	}
 	body, _ := json.Marshal(jobserver.LeaseRequest{
 		Worker:     w.opts.ID,
@@ -235,11 +282,26 @@ func (w *Worker) lease(ctx context.Context) (*jobserver.Grant, error) {
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
-		var g jobserver.Grant
-		if err := json.NewDecoder(resp.Body).Decode(&g); err != nil {
-			return nil, fmt.Errorf("worker: bad grant: %w", err)
+		if max <= 1 {
+			var g jobserver.Grant
+			if err := json.NewDecoder(resp.Body).Decode(&g); err != nil {
+				return nil, fmt.Errorf("worker: bad grant: %w", err)
+			}
+			return []*jobserver.Grant{&g}, nil
 		}
-		return &g, nil
+		var b jobserver.GrantBatch
+		if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+			return nil, fmt.Errorf("worker: bad grant batch: %w", err)
+		}
+		if len(b.Grants) == 0 {
+			return nil, fmt.Errorf("worker: empty grant batch")
+		}
+		gs := make([]*jobserver.Grant, len(b.Grants))
+		for i := range b.Grants {
+			gs[i] = &b.Grants[i]
+		}
+		w.batched.Add(int64(len(gs)))
+		return gs, nil
 	case http.StatusNoContent:
 		return nil, nil
 	default:

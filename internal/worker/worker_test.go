@@ -188,6 +188,44 @@ func TestRemoteWorkersByteIdentity(t *testing.T) {
 	}
 }
 
+// TestBatchedWorkerByteIdentity pins satellite byte-identity at K > 1:
+// a four-slot worker leases through ?max=K round-trips (its first poll
+// necessarily asks for 4, so the batched wire shape is exercised), and
+// the job's merged result bytes still equal the direct local run
+// exactly — grouping grants changes round-trip count and nothing else.
+func TestBatchedWorkerByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real campaign")
+	}
+	srv, hs := newDaemon(t, jobserver.Options{Budget: 2, LeaseTTL: 5 * time.Second})
+	w, _ := startWorker(t, Options{Base: hs.URL, ID: "wide", Slots: 4, Wait: 2 * time.Second, Logf: t.Logf})
+	waitParked(t, hs.URL, 1)
+
+	j, _, err := srv.Submit(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := waitResult(t, srv, j)
+	if !bytes.Equal(data, referenceResult(t)) {
+		t.Fatal("batched-worker result diverges from the local run")
+	}
+	// The registry/result beat race (see TestRemoteWorkersByteIdentity):
+	// poll briefly for the worker's own counters to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := w.Stats()
+		if st.Results > 0 && st.Batched > 0 {
+			t.Logf("batched worker stats: %+v", st)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker stats %+v: want results > 0 and batched > 0 "+
+				"(an idle 4-slot worker's first granted poll is always a ?max>1 batch)", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestLeaseExpiryRequeues is the dead-worker contract: a worker leases
 // a unit and goes silent, the daemon expires the lease after the TTL
 // and re-runs the unit locally, the job finishes byte-identically, and

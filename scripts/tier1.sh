@@ -10,7 +10,9 @@
 #                        deterministic pipeline paths, and no new bare
 #                        256/NumComparators vehicle constants in
 #                        internal/macros or internal/adc outside the
-#                        vehicle spec
+#                        vehicle spec, and no direct netlist.NewBuilder
+#                        in internal/core (engines must come through
+#                        the pool/rebind seam)
 #   3. go build / vet  — compile + static checks, whole tree
 #   4. staticcheck     — when the binary is on PATH (skipped with a notice
 #                        otherwise; the container does not ship it)
@@ -79,6 +81,21 @@ vlint=$(grep -rn --include='*.go' 	--exclude='*_test.go' --exclude='vehicle.go' 
 if [ -n "$vlint" ]; then
 	echo "grep-lint: bare 256/NumComparators in vehicle-parameterised layers (use macros.Vehicle):" >&2
 	echo "$vlint" >&2
+	exit 1
+fi
+
+# Rebind-seam lint: the per-die loops in internal/core must obtain
+# engines through the macro pool/rebind seam (macros.Respond* with a
+# shared EnginePool), never by compiling a netlist directly. A direct
+# netlist.NewBuilder call in core would bypass the compile-once cache
+# and silently reintroduce the per-die rebuild cost. Tests are
+# excluded (they may build reference engines on purpose).
+rlint=$(grep -rn --include='*.go' --exclude='*_test.go' \
+	-e 'netlist\.NewBuilder' \
+	internal/core/ 2>/dev/null || true)
+if [ -n "$rlint" ]; then
+	echo "grep-lint: direct netlist.NewBuilder in internal/core (use the macro pool/rebind seam):" >&2
+	echo "$rlint" >&2
 	exit 1
 fi
 
